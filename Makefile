@@ -1,0 +1,30 @@
+# Convenience targets for the GEACC reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-smoke bench-paper examples report clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:
+	REPRO_SCALE=smoke $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; $(PYTHON) $$script; done
+
+report:
+	$(PYTHON) -m repro.cli reproduce --output REPORT.md
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Every figure benchmark regenerates its paper figure once (via
+``benchmark.pedantic(rounds=1)``) at the grid scale selected by the
+``REPRO_SCALE`` environment variable (default ``scaled``; ``paper`` for
+the literal Table III grids, ``smoke`` for a seconds-long pass). The
+rendered series -- the same rows the paper plots -- are printed and also
+written to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote
+them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentScale, get_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return get_scale(os.environ.get("REPRO_SCALE", "scaled"))
+
+
+@pytest.fixture(scope="session")
+def record_series():
+    """Persist a rendered figure to benchmarks/results/ and echo it."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

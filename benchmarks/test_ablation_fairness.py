@@ -1,0 +1,44 @@
+"""Ablation (extension): the price-of-fairness frontier.
+
+Sweeps the fairness discount of :class:`FairGreedyGEACC` and reports the
+MaxSum / coverage / Gini trade-off against plain Greedy-GEACC.
+"""
+
+from repro.core.algorithms import GreedyGEACC
+from repro.core.algorithms.fair_greedy import FairGreedyGEACC
+from repro.core.analysis import analyze
+from repro.datagen.synthetic import generate_instance
+from repro.experiments.reporting import format_table
+
+FAIRNESS_GRID = (0.0, 0.5, 1.0, 2.0, 5.0)
+
+
+def test_ablation_fairness_frontier(benchmark, scale, record_series):
+    instance = generate_instance(scale.default, seed=0)
+
+    def run():
+        rows = []
+        baseline = analyze(GreedyGEACC().solve(instance))
+        rows.append(
+            ("greedy (paper)", baseline.max_sum, baseline.users_matched,
+             baseline.satisfaction_gini)
+        )
+        for fairness in FAIRNESS_GRID:
+            stats = analyze(FairGreedyGEACC(fairness=fairness).solve(instance))
+            rows.append(
+                (f"fair-greedy({fairness})", stats.max_sum,
+                 stats.users_matched, stats.satisfaction_gini)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(
+        "ablation_fairness",
+        "== Ablation: price of fairness ==\n"
+        + format_table(["policy", "MaxSum", "users matched", "Gini"], rows),
+    )
+    baseline_maxsum = rows[0][1]
+    baseline_gini = rows[0][3]
+    strongest = rows[-1]
+    assert strongest[3] <= baseline_gini + 1e-9   # fairness reduces Gini
+    assert strongest[1] >= baseline_maxsum * 0.6  # at bounded MaxSum cost

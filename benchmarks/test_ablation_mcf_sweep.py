@@ -1,0 +1,45 @@
+"""Ablation: MinCostFlow-GEACC Delta-sweep early stop vs literal sweep.
+
+Algorithm 1 sweeps Delta from Delta_min to Delta_max. Successive
+shortest-path costs are non-decreasing, so the sweep's argmax is reached
+the moment a path costs >= 1; our default engine stops there. This
+ablation verifies the full literal sweep returns the same MaxSum and
+costs at least as much time.
+"""
+
+import pytest
+
+from repro.core.algorithms import MinCostFlowGEACC
+from repro.datagen.synthetic import generate_instance
+from repro.experiments.metrics import measure
+from repro.experiments.reporting import format_table
+
+
+def test_ablation_sweep_modes(benchmark, scale, record_series):
+    instance = generate_instance(scale.default, seed=0)
+
+    def run():
+        early = measure(
+            lambda: MinCostFlowGEACC(full_sweep=False).solve(instance),
+            memory=False,
+        )
+        full = measure(
+            lambda: MinCostFlowGEACC(full_sweep=True).solve(instance),
+            memory=False,
+        )
+        return early, full
+
+    early, full = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["early-stop", early.result.max_sum(), early.seconds],
+        ["full-sweep", full.result.max_sum(), full.seconds],
+    ]
+    record_series(
+        "ablation_mcf_sweep",
+        "== Ablation: MCF Delta-sweep early stop ==\n"
+        + format_table(["mode", "MaxSum", "seconds"], rows),
+    )
+    # The concavity argument says the two modes are equivalent in result;
+    # time differences at small scales are noise, so only the MaxSum
+    # equivalence is asserted (the table records both timings).
+    assert early.result.max_sum() == pytest.approx(full.result.max_sum())

@@ -1,0 +1,41 @@
+"""Ablation (extension): the price of online arrangement.
+
+Compares first-come-first-served online assignment (users arrive one at a
+time, assignments irrevocable) against the offline algorithms on the same
+instances, across several arrival orders.
+"""
+
+import numpy as np
+
+from repro.core.algorithms import GreedyGEACC, OnlineGreedyGEACC
+from repro.datagen.synthetic import generate_instance
+from repro.experiments.reporting import format_table
+
+
+def test_ablation_online_vs_offline(benchmark, scale, record_series):
+    instance = generate_instance(scale.default, seed=0)
+    rng = np.random.default_rng(0)
+
+    def run():
+        offline = GreedyGEACC().solve(instance).max_sum()
+        rows = [("offline greedy", offline, 100.0)]
+        for label, order in (
+            ("online (index order)", None),
+            ("online (shuffled A)", rng.permutation(instance.n_users)),
+            ("online (shuffled B)", rng.permutation(instance.n_users)),
+        ):
+            online = OnlineGreedyGEACC(arrival_order=order).solve(instance)
+            value = online.max_sum()
+            rows.append((label, value, value / offline * 100))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_series(
+        "ablation_online",
+        "== Ablation: online vs offline arrangement ==\n"
+        + format_table(["policy", "MaxSum", "% of offline greedy"], rows),
+    )
+    offline_value = rows[0][1]
+    for _, value, _ in rows[1:]:
+        assert value <= offline_value * 1.02  # online should not win
+        assert value >= offline_value * 0.5   # but stays in the ballpark

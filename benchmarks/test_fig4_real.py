@@ -1,0 +1,20 @@
+"""Fig. 4 column 4: the real dataset (simulated Auckland, Table II).
+
+Paper shape: the real-data curves mirror the synthetic ones -- MaxSum
+falls as the conflict ratio rises, Greedy dominates.
+"""
+
+from repro.experiments.figures import fig4_real
+
+
+def test_fig4_real_auckland(benchmark, scale, record_series):
+    sweep = benchmark.pedantic(
+        lambda: fig4_real(scale, city="auckland"), rounds=1, iterations=1
+    )
+    record_series("fig4_col4_real_auckland", sweep.render())
+    greedy = dict(sweep.series("greedy", "max_sum"))
+    random_u = dict(sweep.series("random-u", "max_sum"))
+    ratios = sorted(greedy)
+    assert greedy[ratios[0]] >= greedy[ratios[-1]]
+    for ratio in ratios:
+        assert greedy[ratio] > random_u[ratio]

@@ -1,0 +1,32 @@
+"""Fig. 6a-d: effectiveness of the Lemma 6 pruning rule.
+
+Paper shapes: the average depth at which Prune-GEACC prunes is small
+relative to the maximum possible depth (6a); Prune-GEACC runs much faster
+than exhaustive search (6b); it performs far fewer complete searches (6c)
+and far fewer Search-GEACC invocations (6d).
+"""
+
+from repro.experiments.figures import fig6_pruning
+
+
+def test_fig6_pruning_effectiveness(benchmark, scale, record_series):
+    result = benchmark.pedantic(
+        lambda: fig6_pruning(scale), rounds=1, iterations=1
+    )
+    record_series("fig6_pruning", result.render())
+    by_key = {
+        (r.cf_ratio, r.n_users, r.algorithm): r for r in result.records
+    }
+    exhaustive_keys = [k for k in by_key if k[2] == "exhaustive"]
+    assert exhaustive_keys, "no exhaustive baselines ran"
+    for cf_ratio, n_users, _ in exhaustive_keys:
+        prune = by_key[(cf_ratio, n_users, "prune")]
+        exhaustive = by_key[(cf_ratio, n_users, "exhaustive")]
+        assert prune.invocations < exhaustive.invocations          # 6d
+        assert prune.complete_searches < exhaustive.complete_searches  # 6c
+        assert prune.seconds <= exhaustive.seconds * 1.5           # 6b
+    # 6a: pruning fires well above the leaves -- the average pruned depth
+    # is below the maximum recursion depth.
+    for record in result.records:
+        if record.algorithm == "prune" and record.average_prune_depth:
+            assert record.average_prune_depth < record.max_depth

@@ -1,0 +1,63 @@
+"""Micro-benchmarks: per-solver kernel timings at the default workload.
+
+These use pytest-benchmark's statistics (multiple rounds) on a fixed
+instance, complementing the single-shot figure regenerations.
+"""
+
+import pytest
+
+from repro.core.algorithms import get_solver
+from repro.datagen.synthetic import generate_instance
+from repro.flow.dense_bipartite import DenseBipartiteMinCostFlow
+from repro.index import make_index
+
+
+@pytest.fixture(scope="module")
+def default_instance(scale):
+    instance = generate_instance(scale.default, seed=0)
+    instance.sims  # materialise once so solves measure algorithm time only
+    return instance
+
+
+@pytest.mark.parametrize("solver_name", ["greedy", "random-v", "random-u"])
+def test_bench_fast_solvers(benchmark, default_instance, solver_name):
+    solver = get_solver(solver_name)
+    arrangement = benchmark(lambda: solver.solve(default_instance))
+    assert len(arrangement) > 0
+
+
+def test_bench_mincostflow(benchmark, default_instance):
+    solver = get_solver("mincostflow")
+    arrangement = benchmark.pedantic(
+        lambda: solver.solve(default_instance), rounds=1, iterations=1
+    )
+    assert len(arrangement) > 0
+
+
+def test_bench_dense_flow_kernel(benchmark, default_instance):
+    costs = 1.0 - default_instance.sims
+
+    def run():
+        flow = DenseBipartiteMinCostFlow(
+            costs,
+            default_instance.event_capacities,
+            default_instance.user_capacities,
+        )
+        flow.run(stop_cost=1.0 - 1e-12)
+        return flow.total_flow
+
+    routed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert routed > 0
+
+
+@pytest.mark.parametrize("kind", ["linear", "chunked", "kdtree", "idistance"])
+def test_bench_index_build_and_query(benchmark, default_instance, kind):
+    points = default_instance.user_attributes
+    query = default_instance.event_attributes[0]
+
+    def run():
+        index = make_index(kind, points)
+        return index.query(query, k=10)
+
+    top = benchmark(run)
+    assert len(top) == 10

@@ -1,0 +1,25 @@
+"""Tables II-III regeneration: dataset statistics straight from the code."""
+
+from repro.experiments.tables import (
+    capacity_statistics,
+    table2_real_datasets,
+    table3_synthetic_config,
+)
+
+
+def test_table2_real_datasets(benchmark, record_series):
+    text = benchmark.pedantic(table2_real_datasets, rounds=1, iterations=1)
+    record_series("table2_real_datasets", text)
+    assert "vancouver" in text
+    assert "225" in text and "2012" in text  # Table II cardinalities
+    assert "569" in text and "1500" in text
+
+
+def test_table3_synthetic_config(benchmark, record_series):
+    text = benchmark.pedantic(table3_synthetic_config, rounds=1, iterations=1)
+    record_series(
+        "table3_synthetic_config", text + "\n\n" + capacity_statistics()
+    )
+    assert "*100*" in text   # |V| default bolded
+    assert "*1000*" in text  # |U| default
+    assert "Zipf 1.3" in text

@@ -1,0 +1,106 @@
+"""Group-buying arrangement (the paper's Groupon motivation).
+
+Groupon-style deals are events with inventory (capacity); shoppers are
+users with a budget for a few deals (capacity). Deals conflict when they
+are mutually exclusive -- e.g. two discounts for the same restaurant
+cannot be redeemed together, or two limited-time offers overlap. The
+platform wants a *global* deal-shopper arrangement maximising predicted
+purchase interest, not per-deal recommendation lists (which oversell
+conflicting deals to the same shoppers).
+
+This example builds a deal catalogue with category structure, derives
+conflicts from mutual exclusivity within merchants, compares Greedy with
+per-deal recommendation (Random-V is the paper's stand-in for
+non-global assignment), and prints operator-facing statistics.
+
+Run:  python examples/group_buying.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ConflictGraph,
+    GreedyGEACC,
+    Instance,
+    LocalSearchGEACC,
+    RandomV,
+    validate_arrangement,
+)
+from repro.core.analysis import compare
+
+N_MERCHANTS = 12
+DEALS_PER_MERCHANT = 3
+N_SHOPPERS = 600
+N_CATEGORIES = 8
+
+
+def build_catalogue(seed: int = 23) -> Instance:
+    """Deals clustered by merchant category; same-merchant deals conflict."""
+    rng = np.random.default_rng(seed)
+    n_deals = N_MERCHANTS * DEALS_PER_MERCHANT
+
+    # Each merchant has a category profile; its deals are perturbations.
+    merchant_profiles = rng.dirichlet(np.full(N_CATEGORIES, 0.5), N_MERCHANTS)
+    deal_attrs = np.repeat(merchant_profiles, DEALS_PER_MERCHANT, axis=0)
+    deal_attrs += rng.normal(0, 0.05, deal_attrs.shape)
+    deal_attrs = np.clip(deal_attrs, 0, 1)
+
+    shopper_attrs = rng.dirichlet(np.full(N_CATEGORIES, 0.7), N_SHOPPERS)
+
+    inventory = rng.integers(10, 60, size=n_deals)        # deal stock
+    budget = rng.integers(1, 5, size=N_SHOPPERS)          # deals per shopper
+
+    # Deals of the same merchant are mutually exclusive.
+    conflicts = ConflictGraph(n_deals)
+    for merchant in range(N_MERCHANTS):
+        deals = range(
+            merchant * DEALS_PER_MERCHANT, (merchant + 1) * DEALS_PER_MERCHANT
+        )
+        for i in deals:
+            for j in deals:
+                if i < j:
+                    conflicts.add_pair(i, j)
+
+    return Instance.from_attributes(
+        deal_attrs, shopper_attrs, inventory, budget, conflicts, t=1.0
+    )
+
+
+def main() -> None:
+    instance = build_catalogue()
+    print(f"catalogue: {instance}")
+    print(
+        f"{N_MERCHANTS} merchants x {DEALS_PER_MERCHANT} mutually exclusive "
+        f"deals, {N_SHOPPERS} shoppers"
+    )
+
+    per_deal = RandomV(seed=1).solve(instance)        # non-global assignment
+    global_greedy = GreedyGEACC().solve(instance)
+    polished = LocalSearchGEACC().improve(global_greedy)
+    for arrangement in (per_deal, global_greedy, polished):
+        validate_arrangement(arrangement)
+
+    print("\n" + compare({
+        "per-deal (random)": per_deal,
+        "global greedy": global_greedy,
+        "greedy + local search": polished,
+    }))
+
+    # No shopper holds two deals of the same merchant.
+    for shopper in range(instance.n_users):
+        merchants = [
+            deal // DEALS_PER_MERCHANT
+            for deal in global_greedy.events_of(shopper)
+        ]
+        assert len(merchants) == len(set(merchants))
+    print("\nverified: no shopper was sold two deals of the same merchant")
+
+    lift = (global_greedy.max_sum() / per_deal.max_sum() - 1) * 100
+    print(f"global arrangement lifts predicted interest by {lift:.0f}% "
+          f"over per-deal assignment")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Scalability demo: matrix-free Greedy-GEACC at large |U| (Fig. 5a-b).
+
+At scalability scales the |V| x |U| similarity matrix stops fitting in
+memory comfortably, so Greedy-GEACC switches to index-backed neighbour
+streams over the raw attribute vectors (the paper's sigma(S) k-NN oracle,
+here a chunked argpartition scan). This demo solves a growing sequence of
+instances without ever materialising the matrix, and reports the
+near-linear time/memory growth the paper shows in Fig. 5.
+
+Run:  python examples/scalability_demo.py  [--big]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import tracemalloc
+
+from repro import GreedyGEACC, SyntheticConfig, generate_instance
+
+SIZES = [(50, 2_000), (50, 5_000), (100, 5_000), (100, 10_000)]
+BIG_SIZES = SIZES + [(200, 20_000), (200, 50_000)]
+
+
+def main() -> None:
+    sizes = BIG_SIZES if "--big" in sys.argv else SIZES
+    print(f"{'|V|':>5s} {'|U|':>7s} {'MaxSum':>12s} {'|M|':>7s} "
+          f"{'time':>8s} {'peak MB':>8s} {'matrix?':>8s}")
+    for n_events, n_users in sizes:
+        config = SyntheticConfig(
+            n_events=n_events, n_users=n_users, cv_high=200
+        )
+        instance = generate_instance(config, seed=0)
+        solver = GreedyGEACC(index_kind="chunked")  # force matrix-free path
+        tracemalloc.start()
+        start = time.perf_counter()
+        arrangement = solver.solve(instance)
+        seconds = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        print(
+            f"{n_events:5d} {n_users:7d} {arrangement.max_sum():12.1f} "
+            f"{len(arrangement):7d} {seconds:7.2f}s {peak / 2**20:8.1f} "
+            f"{str(instance.has_matrix):>8s}"
+        )
+    print("\nThe similarity matrix was never materialised; time and memory")
+    print("grow near-linearly with |U| (compare rows at fixed |V|).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,283 @@
+"""Command-line interface: ``geacc``.
+
+Subcommands:
+
+* ``geacc solve`` -- generate (or load) an instance and solve it with one
+  or more algorithms, printing MaxSum / |M| / timing; optionally writes
+  the best arrangement to a JSON file.
+* ``geacc generate`` -- generate a synthetic or simulated-city instance
+  and save it (``.json`` or ``.npz``) for later ``solve --input`` runs.
+* ``geacc experiment`` -- run one of the paper's figure drivers and print
+  its series (see ``repro.experiments.figures``).
+* ``geacc info`` -- list registered solvers, figures and scales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.algorithms import SOLVERS, get_solver
+from repro.exceptions import ReproError
+from repro.core.validation import validate_arrangement
+from repro.datagen.synthetic import SyntheticConfig, generate_instance
+from repro.datasets.meetup import CITIES, MeetupCityConfig, meetup_city
+from repro.datasets.scenarios import SCENARIOS, build_scenario
+from repro.experiments.config import SCALES
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.metrics import measure
+
+
+def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--events", type=int, default=100, help="|V| (synthetic)")
+    parser.add_argument("--users", type=int, default=1000, help="|U| (synthetic)")
+    parser.add_argument("--dimension", type=int, default=20, help="attribute d")
+    parser.add_argument(
+        "--conflict-ratio", type=float, default=0.25, help="|CF| / all event pairs"
+    )
+    parser.add_argument("--cv-max", type=int, default=50, help="max event capacity")
+    parser.add_argument("--cu-max", type=int, default=4, help="max user capacity")
+    parser.add_argument(
+        "--attr-distribution",
+        choices=["uniform", "normal", "zipf"],
+        default="uniform",
+    )
+    parser.add_argument(
+        "--city",
+        choices=sorted(CITIES),
+        default=None,
+        help="use a simulated Meetup city instead of synthetic data",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="use a structured scenario workload instead of synthetic data",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_instance(args: argparse.Namespace):
+    if getattr(args, "scenario", None):
+        return build_scenario(args.scenario, seed=args.seed).instance
+    if args.city:
+        config = MeetupCityConfig(city=args.city, conflict_ratio=args.conflict_ratio)
+        return meetup_city(config, args.seed)
+    config = SyntheticConfig(
+        n_events=args.events,
+        n_users=args.users,
+        d=args.dimension,
+        conflict_ratio=args.conflict_ratio,
+        cv_high=args.cv_max,
+        cu_high=args.cu_max,
+        attr_distribution=args.attr_distribution,
+    )
+    return generate_instance(config, args.seed)
+
+
+def _load_instance(path: str):
+    from repro.io import load_instance_json, load_instance_npz
+
+    if path.endswith(".npz"):
+        return load_instance_npz(path)
+    return load_instance_json(path)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.input:
+        instance = _load_instance(args.input)
+    else:
+        instance = _build_instance(args)
+    print(instance)
+    best = None
+    for name in args.algorithms:
+        solver = get_solver(name)
+        run = measure(lambda: solver.solve(instance), memory=args.memory)
+        validate_arrangement(run.result)
+        memory_text = f"  peak={run.peak_mb:.1f}MB" if run.peak_mb is not None else ""
+        print(
+            f"{name:12s}  MaxSum={run.result.max_sum():10.3f}  "
+            f"|M|={len(run.result):6d}  time={run.seconds:.3f}s{memory_text}"
+        )
+        if best is None or run.result.max_sum() > best.max_sum():
+            best = run.result
+    if args.output and best is not None:
+        from repro.io import save_arrangement_json
+
+        save_arrangement_json(best, args.output)
+        print(f"best arrangement written to {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.io import save_instance_json, save_instance_npz
+
+    instance = _build_instance(args)
+    if args.output.endswith(".npz"):
+        save_instance_npz(instance, args.output)
+    else:
+        save_instance_json(instance, args.output)
+    print(f"{instance} written to {args.output}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    driver = ALL_FIGURES[args.figure]
+    result = driver(args.scale)
+    if args.chart and hasattr(result, "records") and hasattr(result, "solvers"):
+        from repro.experiments.charts import render_sweep_charts
+
+        print(render_sweep_charts(result))
+    else:
+        print(result.render())
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.report import run_full_report
+
+    report = run_full_report(args.scale, figures=args.figures)
+    text = report.to_markdown()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report ({len(report.sections)} sections, "
+              f"{report.total_seconds:.1f}s) written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.simulation import (
+        GreedyArrivalPolicy,
+        RebatchPolicy,
+        Simulator,
+        random_timeline,
+    )
+
+    instance = _build_instance(args)
+    print(instance)
+    rng = np.random.default_rng(args.seed)
+    timeline = random_timeline(instance, rng, horizon=args.horizon)
+    simulator = Simulator(instance, timeline)
+    policies = {
+        "greedy-arrival": GreedyArrivalPolicy(),
+        "rebatch": RebatchPolicy(solver=args.rebatch_solver),
+    }
+    for name in args.policies:
+        result = simulator.run(policies[name])
+        print(result.summary())
+    return 0
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    print("solvers:    " + ", ".join(sorted(SOLVERS)))
+    print("figures:    " + ", ".join(sorted(ALL_FIGURES)))
+    print("scales:     " + ", ".join(sorted(SCALES)))
+    print("cities:     " + ", ".join(sorted(CITIES)))
+    print("scenarios:  " + ", ".join(sorted(SCENARIOS)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="geacc",
+        description="Conflict-aware event-participant arrangement (ICDE 2015 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="solve one instance")
+    _add_instance_arguments(solve)
+    solve.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["greedy"],
+        choices=sorted(SOLVERS),
+    )
+    solve.add_argument(
+        "--memory", action="store_true", help="also measure peak memory"
+    )
+    solve.add_argument(
+        "--input", default=None, help="load the instance from a .json/.npz file"
+    )
+    solve.add_argument(
+        "--output", default=None, help="write the best arrangement to a JSON file"
+    )
+    solve.set_defaults(func=_cmd_solve)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate an instance and save it to a file"
+    )
+    _add_instance_arguments(generate)
+    generate.add_argument(
+        "--output", required=True, help="target path (.json or .npz)"
+    )
+    generate.set_defaults(func=_cmd_generate)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one of the paper's figures"
+    )
+    experiment.add_argument("figure", choices=sorted(ALL_FIGURES))
+    experiment.add_argument(
+        "--scale", choices=sorted(SCALES), default=None, help="parameter scale"
+    )
+    experiment.add_argument(
+        "--chart",
+        action="store_true",
+        help="render bar charts instead of tables (sweep figures only)",
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+
+    reproduce = subparsers.add_parser(
+        "reproduce", help="run every table/figure and write one report"
+    )
+    reproduce.add_argument(
+        "--scale", choices=sorted(SCALES), default=None, help="parameter scale"
+    )
+    reproduce.add_argument(
+        "--figures",
+        nargs="+",
+        default=None,
+        choices=sorted(ALL_FIGURES),
+        help="subset of figures (default: all)",
+    )
+    reproduce.add_argument(
+        "--output", default=None, help="write the markdown report here"
+    )
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="replay a dynamic-platform timeline"
+    )
+    _add_instance_arguments(simulate)
+    simulate.add_argument("--horizon", type=float, default=100.0)
+    simulate.add_argument(
+        "--policies",
+        nargs="+",
+        default=["greedy-arrival", "rebatch"],
+        choices=["greedy-arrival", "rebatch"],
+    )
+    simulate.add_argument(
+        "--rebatch-solver", default="greedy", choices=sorted(SOLVERS)
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    info = subparsers.add_parser("info", help="list solvers/figures/scales")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""The GEACC problem and its solvers (the paper's core contribution)."""
+
+from repro.core.conflicts import ConflictGraph
+from repro.core.model import Arrangement, Event, Instance, User
+from repro.core.similarity import (
+    cosine_similarity,
+    euclidean_similarity,
+    similarity_matrix,
+)
+from repro.core.validation import is_feasible, validate_arrangement
+from repro.core.toy import toy_instance
+
+__all__ = [
+    "Arrangement",
+    "ConflictGraph",
+    "Event",
+    "Instance",
+    "User",
+    "cosine_similarity",
+    "euclidean_similarity",
+    "similarity_matrix",
+    "is_feasible",
+    "validate_arrangement",
+    "toy_instance",
+]

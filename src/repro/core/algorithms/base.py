@@ -1,0 +1,54 @@
+"""Solver interface and registry."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.model import Arrangement, Instance
+
+SOLVERS: dict[str, type["Solver"]] = {}
+
+
+def register_solver(name: str):
+    """Class decorator adding a solver to the global registry."""
+
+    def decorate(cls: type["Solver"]) -> type["Solver"]:
+        if name in SOLVERS:
+            raise ValueError(f"solver name {name!r} already registered")
+        SOLVERS[name] = cls
+        cls.name = name
+        return cls
+
+    return decorate
+
+
+def get_solver(name: str, **kwargs) -> "Solver":
+    """Instantiate a registered solver by name.
+
+    Args:
+        name: Registry key (e.g. ``greedy``, ``mincostflow``, ``prune``).
+        **kwargs: Forwarded to the solver constructor.
+    """
+    try:
+        cls = SOLVERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SOLVERS))
+        raise ValueError(f"unknown solver {name!r}; registered: {known}")
+    return cls(**kwargs)
+
+
+class Solver(ABC):
+    """A GEACC solver: turns an :class:`Instance` into an arrangement.
+
+    Solvers are stateless across calls (construct once, solve many
+    instances); any per-solve state lives inside :meth:`solve`.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def solve(self, instance: Instance) -> Arrangement:
+        """Return a feasible arrangement for ``instance``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,98 @@
+"""Local-search post-improvement (an extension beyond the paper).
+
+Wraps any base solver and improves its arrangement to a local optimum
+under two moves, iterated to a fixed point (or ``max_rounds``):
+
+* **add** -- insert any currently-feasible unmatched pair with positive
+  similarity (Lemma 5 guarantees Greedy leaves none, but MinCostFlow's
+  conflict-resolution step and the random baselines often do);
+* **swap** -- for one user, replace a matched event by an unmatched one
+  of higher similarity when the replacement is feasible.
+
+Each accepted move strictly increases MaxSum, and MaxSum is bounded, so
+the search terminates. The ablation benchmark
+(``benchmarks/test_ablation_local_search.py``) measures how much headroom
+each base solver leaves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import Solver, get_solver, register_solver
+from repro.core.model import Arrangement, Instance
+
+
+@register_solver("local-search")
+class LocalSearchGEACC(Solver):
+    """Improve a base solver's arrangement with add/swap moves.
+
+    Args:
+        base: A :class:`Solver` instance or registry name (default
+            ``greedy``).
+        max_rounds: Safety cap on full improvement sweeps.
+    """
+
+    def __init__(self, base: Solver | str = "greedy", max_rounds: int = 50) -> None:
+        self._base = get_solver(base) if isinstance(base, str) else base
+        self._max_rounds = max_rounds
+
+    def solve(self, instance: Instance) -> Arrangement:
+        return self.improve(self._base.solve(instance))
+
+    def improve(self, arrangement: Arrangement) -> Arrangement:
+        """Run add/swap sweeps on a copy of ``arrangement`` to a fixed point."""
+        current = arrangement.copy()
+        for _ in range(self._max_rounds):
+            improved = self._sweep_adds(current)
+            improved |= self._sweep_swaps(current)
+            if not improved:
+                break
+        return current
+
+    def _sweep_adds(self, arrangement: Arrangement) -> bool:
+        instance = arrangement.instance
+        improved = False
+        for u in range(instance.n_users):
+            if arrangement.user_remaining(u) <= 0:
+                continue
+            sims = instance.sim_col(u)
+            # Best-first so each user's spare capacity goes to its best events.
+            for v in np.argsort(-sims, kind="stable"):
+                if sims[v] <= 0:
+                    break
+                if arrangement.user_remaining(u) <= 0:
+                    break
+                if arrangement.can_add(int(v), u):
+                    arrangement.add(int(v), u)
+                    improved = True
+        return improved
+
+    def _sweep_swaps(self, arrangement: Arrangement) -> bool:
+        instance = arrangement.instance
+        conflicts = instance.conflicts
+        improved = False
+        for u in range(instance.n_users):
+            matched = sorted(arrangement.events_of(u))
+            if not matched:
+                continue
+            sims = instance.sim_col(u)
+            for old in matched:
+                if old not in arrangement.events_of(u):
+                    continue  # already swapped away this sweep
+                others = arrangement.events_of(u) - {old}
+                for v in np.argsort(-sims, kind="stable"):
+                    v = int(v)
+                    if sims[v] <= sims[old]:
+                        break  # no better replacement exists
+                    if v in arrangement.events_of(u):
+                        continue
+                    if arrangement.event_remaining(v) <= 0:
+                        continue
+                    if conflicts.conflicts_with_any(v, others):
+                        continue
+                    arrangement.remove(old, u)
+                    arrangement.add(v, u)
+                    improved = True
+                    break
+        return improved

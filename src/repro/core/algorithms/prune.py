@@ -1,0 +1,279 @@
+"""Prune-GEACC (Algorithms 3-4): exact branch-and-bound search.
+
+The search enumerates the matched/unmatched state of every (event, user)
+pair, visiting events in non-increasing ``s_v * c_v`` order (``s_v`` = the
+event's best similarity) and, within an event, users in non-increasing
+similarity. Lemma 6 gives the pruning rule: a partial matching cannot beat
+the incumbent when
+
+    MaxSum(M_visited) + sum_remain + sim(v, u) * c_v_remaining
+        <= MaxSum(M_best)
+
+where ``sum_remain`` upper-bounds everything later events can contribute
+(``sum of s_v * c_v``). The incumbent is warm-started with Greedy-GEACC so
+pruning bites from the first recursion levels.
+
+:class:`ExhaustiveGEACC` is the same recursion with the bound checks (and
+by default the warm start) disabled -- the "exhaustive search without
+pruning" baseline of Fig. 6. Both record the instrumentation the paper
+plots: number of Search invocations, number of complete searches, and the
+depths at which pruning fired.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.algorithms.base import Solver, register_solver
+from repro.core.algorithms.greedy import GreedyGEACC
+from repro.core.model import Arrangement, Instance
+from repro.exceptions import ReproError
+
+_EPS = 1e-12
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation for one Prune-GEACC / exhaustive run (Fig. 6)."""
+
+    invocations: int = 0
+    complete_searches: int = 0
+    prune_depths: list[int] = field(default_factory=list)
+    max_depth: int = 0
+
+    @property
+    def prune_count(self) -> int:
+        return len(self.prune_depths)
+
+    @property
+    def average_prune_depth(self) -> float:
+        """Average recursion depth at which pruning fired (Fig. 6a)."""
+        if not self.prune_depths:
+            return 0.0
+        return sum(self.prune_depths) / len(self.prune_depths)
+
+
+@register_solver("prune")
+class PruneGEACC(Solver):
+    """Exact GEACC solver (Algorithms 3-4).
+
+    Args:
+        greedy_seed: Warm-start the incumbent with Greedy-GEACC (the
+            paper's line 1; the ablation benchmark turns this off).
+        prune: Apply the Lemma 6 bound (False = exhaustive search).
+        bound: ``paper`` (the literal Lemma 6 bound: each remaining event
+            contributes at most ``s_v * c_v``) or ``tight``, an extension
+            that strengthens the bound two ways while remaining
+            admissible: (1) event-side terms become top-k prefix sums (a
+            remaining event contributes at most the sum of its ``c_v``
+            best similarities; the current event at most its next
+            ``c_v_remaining`` unvisited similarities), and (2) the whole
+            remaining contribution is additionally capped user-side by
+            ``sum_u remaining_capacity(u) * s_u`` with ``s_u`` the user's
+            best similarity (maintained O(1) per match). The optimum is
+            unchanged; ``tight`` prunes far more aggressively (see
+            ``benchmarks/test_ablation_bound.py``).
+        invocation_limit: Optional hard cap on Search invocations;
+            exceeding it raises :class:`ReproError`. A guard for property
+            tests on instances that turn out to be too big.
+
+    After :meth:`solve`, :attr:`stats` holds the last run's counters.
+    """
+
+    def __init__(
+        self,
+        greedy_seed: bool = True,
+        prune: bool = True,
+        bound: str = "paper",
+        invocation_limit: int | None = None,
+    ) -> None:
+        if bound not in ("paper", "tight"):
+            raise ValueError(f"unknown bound {bound!r}; expected paper or tight")
+        self._greedy_seed = greedy_seed
+        self._prune = prune
+        self._bound = bound
+        self._invocation_limit = invocation_limit
+        self.stats = SearchStats()
+
+    def solve(self, instance: Instance) -> Arrangement:
+        self.stats = SearchStats()
+        n_events, n_users = instance.n_events, instance.n_users
+        if n_events == 0 or n_users == 0:
+            return Arrangement(instance)
+
+        sims = instance.sims
+        # Per-event neighbour lists: users in non-increasing similarity.
+        nn_order = np.argsort(-sims, axis=1, kind="stable")
+        nn_sims = np.take_along_axis(sims, nn_order, axis=1)
+        s_v = nn_sims[:, 0]  # similarity to each event's 1-NN
+
+        # L: events in non-increasing s_v * c_v (index tie-break). The
+        # visit order follows the paper in both bound modes.
+        paper_weights = s_v * instance.event_capacities
+        order = sorted(range(n_events), key=lambda v: (-paper_weights[v], v))
+
+        # Prefix sums of each event's sorted similarities; prefix[v, k] is
+        # the sum of v's k best sims. Used by the "tight" bound.
+        prefix = np.concatenate(
+            [np.zeros((n_events, 1)), np.cumsum(nn_sims, axis=1)], axis=1
+        )
+        if self._bound == "tight":
+            top_k = np.minimum(instance.event_capacities, n_users)
+            weights = prefix[np.arange(n_events), top_k]
+        else:
+            weights = paper_weights
+
+        if self._greedy_seed:
+            best = GreedyGEACC().solve(instance)
+        else:
+            best = Arrangement(instance)
+        best_sum = best.max_sum()
+
+        state = _SearchState(
+            instance=instance,
+            order=order,
+            nn_order=nn_order,
+            nn_sims=nn_sims,
+            weights=weights,
+            prefix=prefix,
+            tight=self._bound == "tight",
+            prune=self._prune,
+            invocation_limit=self._invocation_limit,
+            stats=self.stats,
+            best=best,
+            best_sum=best_sum,
+        )
+        state.sum_remain = float(sum(weights[v] for v in order[1:]))
+
+        needed = n_events * n_users * 2 + 1000
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
+        state.search(0, 0, depth=1)
+        return state.best
+
+
+@register_solver("exhaustive")
+class ExhaustiveGEACC(PruneGEACC):
+    """Exhaustive state enumeration -- Fig. 6's no-pruning baseline."""
+
+    def __init__(self, invocation_limit: int | None = None) -> None:
+        super().__init__(
+            greedy_seed=False, prune=False, invocation_limit=invocation_limit
+        )
+
+
+class _SearchState:
+    """Mutable recursion state shared across Search-GEACC levels."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        order: list[int],
+        nn_order: np.ndarray,
+        nn_sims: np.ndarray,
+        weights: np.ndarray,
+        prefix: np.ndarray,
+        tight: bool,
+        prune: bool,
+        invocation_limit: int | None,
+        stats: SearchStats,
+        best: Arrangement,
+        best_sum: float,
+    ) -> None:
+        self.instance = instance
+        self.order = order
+        self.nn_order = nn_order
+        self.nn_sims = nn_sims
+        self.weights = weights
+        self.prefix = prefix
+        self.tight = tight
+        self.prune = prune
+        self.invocation_limit = invocation_limit
+        self.stats = stats
+        self.best = best
+        self.best_sum = best_sum
+        self.current = Arrangement(instance)
+        self.current_sum = 0.0
+        self.sum_remain = 0.0
+        self.n_events = instance.n_events
+        self.n_users = instance.n_users
+        # User-side cap for the tight bound: remaining matching value is
+        # at most sum_u realizable_remaining(u) * (u's best sim anywhere),
+        # where a user's realizable event count is capped both by c_u and
+        # by the conflict graph's independence bound (their events must
+        # form an independent set).
+        sims = instance.sims
+        self.user_best = sims.max(axis=0) if self.n_events else np.zeros(0)
+        if self.tight:
+            independence_cap = instance.conflicts.independence_upper_bound()
+            effective = np.minimum(instance.user_capacities, independence_cap)
+        else:
+            effective = instance.user_capacities
+        self.user_term = float((effective * self.user_best).sum())
+
+    def search(self, v_pos: int, u_pos: int, depth: int) -> None:
+        """Algorithm 4: enumerate both states of pair (L[v_pos], u_pos-NN)."""
+        stats = self.stats
+        stats.invocations += 1
+        if self.invocation_limit is not None and stats.invocations > self.invocation_limit:
+            raise ReproError(
+                f"Search-GEACC exceeded invocation limit {self.invocation_limit}"
+            )
+        stats.max_depth = max(stats.max_depth, depth)
+        v = self.order[v_pos]
+        u = int(self.nn_order[v, u_pos])
+        sim = float(self.nn_sims[v, u_pos])
+
+        # Matched branch (lines 3-19).
+        if sim > 0 and self.current.can_add(v, u):
+            self.current.add(v, u)
+            self.current_sum += sim
+            self.user_term -= self.user_best[u]
+            self._advance(v_pos, u_pos, depth)
+            self.current.remove(v, u)
+            self.current_sum -= sim
+            self.user_term += self.user_best[u]
+
+        # Unmatched branch (line 20).
+        self._advance(v_pos, u_pos, depth)
+
+    def _advance(self, v_pos: int, u_pos: int, depth: int) -> None:
+        """Lines 6-17: move to the next pair, checking the Lemma 6 bound."""
+        v = self.order[v_pos]
+        if u_pos == self.n_users - 1 or self.current.event_remaining(v) == 0:
+            if v_pos == self.n_events - 1:
+                self.stats.complete_searches += 1
+                if self.current_sum > self.best_sum + _EPS:
+                    self.best = self.current.copy()
+                    self.best_sum = self.current_sum
+                return
+            next_weight = float(self.weights[self.order[v_pos + 1]])
+            event_side = self.sum_remain
+            if self.tight:
+                event_side = min(event_side, self.user_term)
+            if not self.prune or self.current_sum + event_side > self.best_sum + _EPS:
+                self.sum_remain -= next_weight
+                self.search(v_pos + 1, 0, depth + 1)
+                self.sum_remain += next_weight
+            else:
+                self.stats.prune_depths.append(depth)
+            return
+        remaining = self.current.event_remaining(v)
+        if self.tight:
+            # Sum of the next `remaining` unvisited sims of v -- a valid
+            # and strictly tighter cap on v's future contribution -- and
+            # the user-side capacity cap on everything still to come.
+            start = u_pos + 1
+            stop = min(start + remaining, self.n_users)
+            event_term = float(self.prefix[v, stop] - self.prefix[v, start])
+            future = min(self.sum_remain + event_term, self.user_term)
+        else:
+            future = self.sum_remain + float(self.nn_sims[v, u_pos + 1]) * remaining
+        bound = self.current_sum + future
+        if not self.prune or bound > self.best_sum + _EPS:
+            self.search(v_pos, u_pos + 1, depth + 1)
+        else:
+            self.stats.prune_depths.append(depth)

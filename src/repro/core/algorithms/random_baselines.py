@@ -1,0 +1,66 @@
+"""The paper's Section V random baselines.
+
+Random-V iterates over events and offers each (v, u) pair membership with
+probability ``c_v / |U|``; Random-U iterates over users with probability
+``c_u / |V|``. Both only add a pair when it satisfies every GEACC
+constraint at that moment (including ``sim > 0``, since matched pairs must
+have positive interestingness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms.base import Solver, register_solver
+from repro.core.model import Arrangement, Instance
+
+
+@register_solver("random-v")
+class RandomV(Solver):
+    """Event-major random arrangement baseline.
+
+    Args:
+        seed: Seed for the baseline's own generator (runs are
+            reproducible per seed).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def solve(self, instance: Instance) -> Arrangement:
+        rng = np.random.default_rng(self._seed)
+        arrangement = Arrangement(instance)
+        n_users = instance.n_users
+        if n_users == 0:
+            return arrangement
+        for v in range(instance.n_events):
+            probability = instance.event_capacities[v] / n_users
+            accept = rng.random(n_users) < probability
+            sims = instance.sim_row(v)
+            for u in np.nonzero(accept)[0]:
+                if sims[u] > 0 and arrangement.can_add(v, int(u)):
+                    arrangement.add(v, int(u))
+        return arrangement
+
+
+@register_solver("random-u")
+class RandomU(Solver):
+    """User-major random arrangement baseline."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def solve(self, instance: Instance) -> Arrangement:
+        rng = np.random.default_rng(self._seed)
+        arrangement = Arrangement(instance)
+        n_events = instance.n_events
+        if n_events == 0:
+            return arrangement
+        for u in range(instance.n_users):
+            probability = instance.user_capacities[u] / n_events
+            accept = rng.random(n_events) < probability
+            sims = instance.sim_col(u)
+            for v in np.nonzero(accept)[0]:
+                if sims[v] > 0 and arrangement.can_add(int(v), u):
+                    arrangement.add(int(v), u)
+        return arrangement

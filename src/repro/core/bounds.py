@@ -1,0 +1,101 @@
+"""Upper bounds on the GEACC optimum.
+
+Exact optima are only computable for tiny instances (Prune-GEACC), so
+tests and experiments use these certified upper bounds to sandwich
+approximation quality on instances of any size:
+
+* :func:`nn_capacity_bound` -- the Lemma 6-style bound: every event v can
+  contribute at most ``s_v * c_v`` (its best similarity times its
+  capacity), and symmetrically every user u at most the sum of their
+  ``c_u`` best similarities. The minimum of the two sides is an upper
+  bound on ``MaxSum(M_OPT)``.
+* :func:`relaxation_bound` -- ``MaxSum(M_0)``, the optimum of the
+  conflict-free relaxation (Corollary 1). Tighter, costs a min-cost-flow
+  solve.
+* :func:`lp_bound` -- LP relaxation including per-user conflict
+  constraints; the tightest of the three. Requires scipy and is meant for
+  small/medium instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import Instance
+
+
+def nn_capacity_bound(instance: Instance) -> float:
+    """min(event-side, user-side) capacity-weighted top-k bound."""
+    if instance.n_events == 0 or instance.n_users == 0:
+        return 0.0
+    sims = instance.sims
+    event_side = float(
+        (sims.max(axis=1) * instance.event_capacities).sum()
+    )
+    sorted_cols = np.sort(sims, axis=0)[::-1]  # each column descending
+    user_side = 0.0
+    for u in range(instance.n_users):
+        k = int(min(instance.user_capacities[u], instance.n_events))
+        user_side += float(sorted_cols[:k, u].sum())
+    return min(event_side, user_side)
+
+
+def relaxation_bound(instance: Instance) -> float:
+    """``MaxSum(M_0)``: the conflict-free optimum (Corollary 1)."""
+    from repro.core.algorithms.mincostflow import MinCostFlowGEACC
+
+    solver = MinCostFlowGEACC()
+    pairs = solver.solve_relaxation(instance)
+    return float(sum(instance.sim(v, u) for v, u in pairs))
+
+
+def lp_bound(instance: Instance) -> float:
+    """LP relaxation bound with pairwise conflict constraints.
+
+    Variables ``x[v, u] in [0, 1]`` for pairs with positive similarity;
+    constraints: event capacities, user capacities, and
+    ``x[vi, u] + x[vj, u] <= 1`` for every conflicting pair (vi, vj) and
+    user u. Maximises ``sum sim * x``.
+
+    Raises:
+        ImportError: If scipy is unavailable.
+    """
+    from scipy.optimize import linprog
+    from scipy.sparse import lil_matrix
+
+    sims = instance.sims
+    pos_pairs = [(v, u) for v, u in zip(*np.nonzero(sims > 0))]
+    if not pos_pairs:
+        return 0.0
+    var_index = {pair: i for i, pair in enumerate(pos_pairs)}
+    n_vars = len(pos_pairs)
+    conflict_pairs = list(instance.conflicts.pairs)
+    n_rows = instance.n_events + instance.n_users + len(conflict_pairs) * instance.n_users
+    a_ub = lil_matrix((n_rows, n_vars))
+    b_ub = np.zeros(n_rows)
+    for i, (v, u) in enumerate(pos_pairs):
+        a_ub[v, i] = 1.0
+        a_ub[instance.n_events + u, i] = 1.0
+    b_ub[: instance.n_events] = instance.event_capacities
+    b_ub[instance.n_events : instance.n_events + instance.n_users] = (
+        instance.user_capacities
+    )
+    row = instance.n_events + instance.n_users
+    for vi, vj in conflict_pairs:
+        for u in range(instance.n_users):
+            present = False
+            for v in (vi, vj):
+                i = var_index.get((v, u))
+                if i is not None:
+                    a_ub[row, i] = 1.0
+                    present = True
+            b_ub[row] = 1.0
+            if present:
+                row += 1
+    a_ub = a_ub[:row].tocsr()
+    b_ub = b_ub[:row]
+    c = -np.array([float(sims[v, u]) for v, u in pos_pairs])
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=(0.0, 1.0), method="highs")
+    if not result.success:
+        raise RuntimeError(f"LP bound failed: {result.message}")
+    return float(-result.fun)

@@ -1,0 +1,63 @@
+"""Feasibility validation for arrangements (Definition 5's constraints).
+
+Every algorithm's output, in every test and benchmark, passes through
+:func:`validate_arrangement`. The checks are exactly the constraints of
+the GEACC definition:
+
+1. ``sim(l_v, l_u) > 0`` for every matched pair;
+2. no event exceeds its capacity ``c_v``;
+3. no user exceeds their capacity ``c_u``;
+4. no user is matched to two conflicting events.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import Arrangement, Instance
+from repro.exceptions import InfeasibleArrangementError
+
+
+def validate_arrangement(arrangement: Arrangement, instance: Instance | None = None) -> None:
+    """Raise :class:`InfeasibleArrangementError` on the first violation.
+
+    Args:
+        arrangement: The matching to check.
+        instance: Optionally override the instance to validate against
+            (defaults to ``arrangement.instance``).
+    """
+    instance = instance or arrangement.instance
+    for event in range(instance.n_events):
+        users = arrangement.users_of(event)
+        if len(users) > instance.event_capacities[event]:
+            raise InfeasibleArrangementError(
+                f"event {event} has {len(users)} attendees, capacity "
+                f"{instance.event_capacities[event]}"
+            )
+        for user in users:
+            sim = instance.sim(event, user)
+            if sim <= 0:
+                raise InfeasibleArrangementError(
+                    f"pair ({event}, {user}) matched with sim {sim} <= 0"
+                )
+    for user in range(instance.n_users):
+        events = sorted(arrangement.events_of(user))
+        if len(events) > instance.user_capacities[user]:
+            raise InfeasibleArrangementError(
+                f"user {user} has {len(events)} events, capacity "
+                f"{instance.user_capacities[user]}"
+            )
+        for a in range(len(events)):
+            for b in range(a + 1, len(events)):
+                if instance.conflicts.are_conflicting(events[a], events[b]):
+                    raise InfeasibleArrangementError(
+                        f"user {user} matched to conflicting events "
+                        f"{events[a]} and {events[b]}"
+                    )
+
+
+def is_feasible(arrangement: Arrangement, instance: Instance | None = None) -> bool:
+    """Boolean wrapper around :func:`validate_arrangement`."""
+    try:
+        validate_arrangement(arrangement, instance)
+    except InfeasibleArrangementError:
+        return False
+    return True

@@ -1,0 +1,20 @@
+"""Workload generators for the paper's synthetic evaluation (Table III)."""
+
+from repro.datagen.distributions import (
+    sample_attributes,
+    sample_capacities,
+)
+from repro.datagen.synthetic import SyntheticConfig, generate_instance
+from repro.datagen.conflictgen import (
+    random_conflicts,
+    random_schedule_conflicts,
+)
+
+__all__ = [
+    "sample_attributes",
+    "sample_capacities",
+    "SyntheticConfig",
+    "generate_instance",
+    "random_conflicts",
+    "random_schedule_conflicts",
+]

@@ -1,0 +1,53 @@
+"""Conflict-set generators.
+
+The paper's experiments draw CF as a uniform fraction of all event pairs
+(:func:`random_conflicts`, a thin wrapper over
+:meth:`repro.core.conflicts.ConflictGraph.random`). The examples use the
+more realistic mechanism the introduction motivates -- events with time
+slots and venues, conflicting on overlap or infeasible travel
+(:func:`random_schedule_conflicts`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.conflicts import ConflictGraph
+
+
+def random_conflicts(
+    n_events: int, ratio: float, seed: int | None = 0
+) -> ConflictGraph:
+    """Uniformly sample ``ratio`` of all event pairs as conflicts."""
+    return ConflictGraph.random(n_events, ratio, np.random.default_rng(seed))
+
+
+def random_schedule_conflicts(
+    n_events: int,
+    rng: np.random.Generator,
+    day_hours: float = 14.0,
+    min_duration: float = 1.0,
+    max_duration: float = 4.0,
+    city_extent: float = 30.0,
+    travel_speed: float = 30.0,
+) -> tuple[ConflictGraph, list[tuple[float, float]], list[tuple[float, float]]]:
+    """Sample a one-day schedule and derive conflicts from it.
+
+    Each event gets a start time within a ``day_hours``-hour window, a
+    duration in ``[min_duration, max_duration]`` hours, and a venue in a
+    ``city_extent`` x ``city_extent`` square (distance units consistent
+    with ``travel_speed`` per hour).
+
+    Returns:
+        ``(conflict_graph, intervals, locations)`` so callers can report
+        schedules alongside arrangements.
+    """
+    durations = rng.uniform(min_duration, max_duration, size=n_events)
+    starts = rng.uniform(0.0, day_hours - durations)
+    intervals = [(float(s), float(s + d)) for s, d in zip(starts, durations)]
+    locations = [
+        (float(x), float(y))
+        for x, y in rng.uniform(0.0, city_extent, size=(n_events, 2))
+    ]
+    graph = ConflictGraph.from_schedule(intervals, locations, travel_speed)
+    return graph, intervals, locations

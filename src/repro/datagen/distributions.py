@@ -1,0 +1,78 @@
+"""Samplers for attribute values and capacities (Table III).
+
+The paper generates attribute values in ``[0, T]`` (T = 10000) following
+Uniform, Normal and Zipf distributions, and capacities following Uniform
+and Normal distributions ("all generated capacity values are converted
+into integers").
+
+* Uniform attributes: i.i.d. on ``[0, T]``.
+* Normal attributes: the paper lists two modes, ``N(T/4, T/4)`` and
+  ``N(3T/4, T/4)``; we draw each entity from one of the two modes with
+  equal probability (a two-cluster population), clipped to ``[0, T]``.
+* Zipf attributes: skew exponent 1.3; Zipf ranks are mapped into
+  ``[0, T]`` so the value distribution is heavily skewed toward 0 with a
+  long tail, mirroring tag-count-style data.
+
+Capacity samplers clip to a minimum of 1 -- a zero-capacity entity can
+never be matched and the paper's statistics (e.g. Normal mu=25 for
+events, mu=2 for users) presuppose usable capacities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ZIPF_EXPONENT = 1.3
+_ZIPF_RANK_CAP = 10_000
+
+
+def sample_attributes(
+    rng: np.random.Generator,
+    count: int,
+    d: int,
+    distribution: str = "uniform",
+    t: float = 10_000.0,
+) -> np.ndarray:
+    """Sample a ``(count, d)`` attribute matrix in ``[0, T]^d``.
+
+    Args:
+        distribution: ``uniform``, ``normal`` or ``zipf`` (Table III).
+    """
+    if distribution == "uniform":
+        return rng.uniform(0.0, t, size=(count, d))
+    if distribution == "normal":
+        modes = rng.integers(0, 2, size=count)
+        mu = np.where(modes == 0, t / 4.0, 3.0 * t / 4.0)
+        values = rng.normal(loc=mu[:, None], scale=t / 4.0, size=(count, d))
+        return np.clip(values, 0.0, t)
+    if distribution == "zipf":
+        ranks = rng.zipf(_ZIPF_EXPONENT, size=(count, d)).astype(np.float64)
+        np.clip(ranks, 1, _ZIPF_RANK_CAP, out=ranks)
+        # log-rank map: rank 1 -> 0, rank cap -> T, heavy mass near 0.
+        return t * np.log(ranks) / np.log(_ZIPF_RANK_CAP)
+    raise ValueError(f"unknown attribute distribution {distribution!r}")
+
+
+def sample_capacities(
+    rng: np.random.Generator,
+    count: int,
+    distribution: str = "uniform",
+    low: int = 1,
+    high: int = 10,
+    mu: float = 25.0,
+    sigma: float = 12.5,
+) -> np.ndarray:
+    """Sample ``count`` integer capacities (>= 1).
+
+    Args:
+        distribution: ``uniform`` (inclusive ``[low, high]``) or
+            ``normal`` (``N(mu, sigma)`` rounded, clipped below at 1).
+    """
+    if distribution == "uniform":
+        if not 1 <= low <= high:
+            raise ValueError(f"need 1 <= low <= high, got [{low}, {high}]")
+        return rng.integers(low, high + 1, size=count).astype(np.int64)
+    if distribution == "normal":
+        values = np.rint(rng.normal(mu, sigma, size=count)).astype(np.int64)
+        return np.maximum(values, 1)
+    raise ValueError(f"unknown capacity distribution {distribution!r}")

@@ -1,0 +1,14 @@
+"""Dataset builders: simulated Meetup cities and structured scenarios."""
+
+from repro.datasets.meetup import CITIES, MERGED_TAGS, MeetupCityConfig, meetup_city
+from repro.datasets.scenarios import SCENARIOS, Scenario, build_scenario
+
+__all__ = [
+    "CITIES",
+    "MERGED_TAGS",
+    "MeetupCityConfig",
+    "meetup_city",
+    "SCENARIOS",
+    "Scenario",
+    "build_scenario",
+]

@@ -1,0 +1,209 @@
+"""Named scenario workloads: GEACC instances with *structured* conflicts.
+
+The paper's experiments draw CF uniformly at random. Real deployments
+have structure: sessions in the same slot always conflict, festival sets
+overlap by stage schedule, course meetings clash across a week. These
+generators build such instances so the algorithms can be exercised (and
+demonstrated) on recognisable problems. Each returns
+``(instance, metadata)`` where metadata carries the human-readable
+structure (slot maps, timetables) for reporting.
+
+All scenarios are deterministic per seed and sized by arguments, so they
+double as integration-test fixtures and benchmark case studies
+(``benchmarks/test_case_studies.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.conflicts import ConflictGraph
+from repro.core.model import Instance
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One generated case study."""
+
+    name: str
+    instance: Instance
+    metadata: dict = field(default_factory=dict)
+
+
+def conference(
+    n_slots: int = 4,
+    sessions_per_slot: int = 3,
+    n_attendees: int = 120,
+    topic_dim: int = 8,
+    seed: int = 0,
+) -> Scenario:
+    """Parallel conference sessions; same-slot sessions conflict.
+
+    Attendees can attend one session per slot (enforced by conflicts) up
+    to a personal budget of slots.
+    """
+    rng = np.random.default_rng(seed)
+    n_sessions = n_slots * sessions_per_slot
+    slots = [
+        list(range(s * sessions_per_slot, (s + 1) * sessions_per_slot))
+        for s in range(n_slots)
+    ]
+    conflicts = ConflictGraph(n_sessions)
+    for slot in slots:
+        for i, a in enumerate(slot):
+            for b in slot[i + 1 :]:
+                conflicts.add_pair(a, b)
+    session_topics = rng.dirichlet(np.full(topic_dim, 0.4), n_sessions)
+    attendee_topics = rng.dirichlet(np.full(topic_dim, 0.8), n_attendees)
+    instance = Instance.from_attributes(
+        session_topics,
+        attendee_topics,
+        rng.integers(15, 60, n_sessions),           # room sizes
+        rng.integers(1, n_slots + 1, n_attendees),  # slots attended
+        conflicts,
+        t=1.0,
+    )
+    return Scenario("conference", instance, {"slots": slots})
+
+
+def festival(
+    n_stages: int = 4,
+    n_timeslots: int = 6,
+    n_fans: int = 400,
+    genre_dim: int = 10,
+    seed: int = 0,
+) -> Scenario:
+    """Festival acts on stages x timeslots; same-slot acts conflict.
+
+    Additionally, consecutive-slot acts on *distant* stages conflict
+    (you cannot cross the grounds in time) -- a structured version of the
+    paper's travel-time motivation. Stage distance = index distance;
+    stages further than 1 apart are unreachable between adjacent slots.
+    """
+    rng = np.random.default_rng(seed)
+    n_acts = n_stages * n_timeslots
+
+    def stage_of(act: int) -> int:
+        return act % n_stages
+
+    def slot_of(act: int) -> int:
+        return act // n_stages
+
+    conflicts = ConflictGraph(n_acts)
+    for a in range(n_acts):
+        for b in range(a + 1, n_acts):
+            same_slot = slot_of(a) == slot_of(b)
+            adjacent_far = (
+                abs(slot_of(a) - slot_of(b)) == 1
+                and abs(stage_of(a) - stage_of(b)) > 1
+            )
+            if same_slot or adjacent_far:
+                conflicts.add_pair(a, b)
+    act_genres = rng.dirichlet(np.full(genre_dim, 0.3), n_acts)
+    fan_genres = rng.dirichlet(np.full(genre_dim, 0.6), n_fans)
+    instance = Instance.from_attributes(
+        act_genres,
+        fan_genres,
+        rng.integers(50, 200, n_acts),              # stage-front capacity
+        rng.integers(1, n_timeslots + 1, n_fans),   # sets a fan will catch
+        conflicts,
+        t=1.0,
+    )
+    return Scenario(
+        "festival",
+        instance,
+        {"n_stages": n_stages, "n_timeslots": n_timeslots},
+    )
+
+
+def course_allocation(
+    n_courses: int = 20,
+    n_students: int = 250,
+    interest_dim: int = 12,
+    seed: int = 0,
+) -> Scenario:
+    """University course allocation with weekly-timetable conflicts.
+
+    Each course meets in one or two weekly (day, hour-block) cells;
+    courses sharing a cell conflict. Capacities: room size per course,
+    course load per student.
+    """
+    rng = np.random.default_rng(seed)
+    days, blocks = 5, 4
+    meetings: list[set[tuple[int, int]]] = []
+    for _ in range(n_courses):
+        count = int(rng.integers(1, 3))
+        cells = {
+            (int(rng.integers(0, days)), int(rng.integers(0, blocks)))
+            for _ in range(count)
+        }
+        meetings.append(cells)
+    conflicts = ConflictGraph(n_courses)
+    for a in range(n_courses):
+        for b in range(a + 1, n_courses):
+            if meetings[a] & meetings[b]:
+                conflicts.add_pair(a, b)
+    course_profiles = rng.dirichlet(np.full(interest_dim, 0.5), n_courses)
+    student_profiles = rng.dirichlet(np.full(interest_dim, 0.9), n_students)
+    instance = Instance.from_attributes(
+        course_profiles,
+        student_profiles,
+        rng.integers(20, 80, n_courses),        # room sizes
+        rng.integers(3, 6, n_students),         # course load
+        conflicts,
+        t=1.0,
+    )
+    return Scenario("course-allocation", instance, {"meetings": meetings})
+
+
+def volunteer_shifts(
+    n_shifts: int = 24,
+    n_volunteers: int = 150,
+    skill_dim: int = 6,
+    seed: int = 0,
+) -> Scenario:
+    """Volunteer shift staffing; overlapping shifts conflict.
+
+    Shifts are intervals over a week (hours 0..168); similarity is a
+    skill match between shift requirements and volunteer skills.
+    """
+    rng = np.random.default_rng(seed)
+    starts = rng.uniform(0, 160, n_shifts)
+    durations = rng.uniform(3, 8, n_shifts)
+    intervals = [(float(s), float(s + d)) for s, d in zip(starts, durations)]
+    conflicts = ConflictGraph.from_intervals(intervals)
+    shift_skills = rng.dirichlet(np.full(skill_dim, 0.5), n_shifts)
+    volunteer_skills = rng.dirichlet(np.full(skill_dim, 0.8), n_volunteers)
+    instance = Instance.from_attributes(
+        shift_skills,
+        volunteer_skills,
+        rng.integers(3, 10, n_shifts),           # staffing need
+        rng.integers(1, 5, n_volunteers),        # shifts per volunteer
+        conflicts,
+        t=1.0,
+    )
+    return Scenario("volunteer-shifts", instance, {"intervals": intervals})
+
+
+SCENARIOS = {
+    "conference": conference,
+    "festival": festival,
+    "course-allocation": course_allocation,
+    "volunteer-shifts": volunteer_shifts,
+}
+
+
+def build_scenario(name: str, seed: int = 0, **kwargs) -> Scenario:
+    """Build a named scenario with default sizing.
+
+    Raises:
+        ValueError: On an unknown scenario name.
+    """
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r}; known: {known}")
+    return factory(seed=seed, **kwargs)

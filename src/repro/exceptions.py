@@ -1,0 +1,57 @@
+"""Exception hierarchy for the GEACC reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything the library may raise with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidInstanceError(ReproError):
+    """A GEACC instance violates a structural invariant.
+
+    Examples: negative capacity, attribute vectors of mismatched
+    dimensionality, a conflict pair referencing an unknown event, or a
+    similarity matrix whose shape does not match ``|V| x |U|``.
+    """
+
+
+class InfeasibleArrangementError(ReproError):
+    """An arrangement violates a GEACC constraint.
+
+    Raised by :func:`repro.core.validation.validate_arrangement` with a
+    human-readable description of the first violated constraint.
+    """
+
+
+class FlowError(ReproError):
+    """Base class for errors raised by the min-cost-flow substrate."""
+
+
+class InfeasibleFlowError(FlowError):
+    """The requested flow amount exceeds the network's maximum flow."""
+
+
+class NegativeCycleError(FlowError):
+    """The residual network contains a negative-cost cycle.
+
+    The successive-shortest-path solver maintains the invariant that no
+    negative-cost residual cycle exists; encountering one indicates
+    corrupted input (e.g. negative arc costs fed to the Dijkstra variant).
+    """
+
+
+class IndexError_(ReproError):
+    """Base class for errors raised by the nearest-neighbour indexes."""
+
+
+class EmptyIndexError(IndexError_):
+    """A nearest-neighbour query was issued against an empty index."""
+
+
+class ReductionError(ReproError):
+    """The Theorem 1 reduction received a malformed MFCGS instance."""

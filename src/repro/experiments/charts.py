@@ -1,0 +1,64 @@
+"""Plain-text chart rendering for sweep results.
+
+Matplotlib is deliberately not a dependency; these render the paper's
+figure panels as aligned horizontal bar charts in the terminal, one bar
+per (grid point, algorithm) cell, scaled to the panel's maximum. Used by
+``geacc experiment --chart``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import Sweep
+
+_BAR_WIDTH = 40
+_FULL = "#"
+
+
+def render_bars(
+    sweep: Sweep, metric: str = "max_sum", width: int = _BAR_WIDTH
+) -> str:
+    """One metric panel of a sweep as horizontal bars.
+
+    Args:
+        sweep: A finished parameter sweep.
+        metric: ``max_sum``, ``seconds``, ``peak_mb`` or ``n_pairs``.
+        width: Bar width in characters for the panel maximum.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    solvers = sweep.solvers()
+    values: dict[tuple[object, str], float] = {}
+    xs: list[object] = []
+    for record in sweep.records:
+        if record.x not in xs:
+            xs.append(record.x)
+        values[(record.x, record.solver)] = float(getattr(record, metric))
+    peak = max(values.values(), default=0.0)
+    label_width = max(
+        [len(str(x)) for x in xs] + [len(sweep.x_label)]
+    )
+    solver_width = max(len(s) for s in solvers) if solvers else 0
+
+    lines = [f"== {sweep.name} :: {metric} =="]
+    for x in xs:
+        lines.append(f"{str(x).ljust(label_width)}")
+        for solver in solvers:
+            value = values.get((x, solver))
+            if value is None:
+                continue
+            filled = 0 if peak <= 0 else round(value / peak * width)
+            bar = _FULL * filled
+            lines.append(
+                f"  {solver.ljust(solver_width)} |{bar.ljust(width)}| "
+                f"{value:.4g}"
+            )
+    return "\n".join(lines)
+
+
+def render_sweep_charts(sweep: Sweep, width: int = _BAR_WIDTH) -> str:
+    """All three paper panels (MaxSum, seconds, memory) as bar charts."""
+    panels = [render_bars(sweep, "max_sum", width)]
+    panels.append(render_bars(sweep, "seconds", width))
+    if any(record.peak_mb for record in sweep.records):
+        panels.append(render_bars(sweep, "peak_mb", width))
+    return "\n\n".join(panels)

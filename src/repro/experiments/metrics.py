@@ -1,0 +1,49 @@
+"""Measurement helpers: wall time and peak memory.
+
+The paper reports running time and memory cost per algorithm. We measure
+wall time with ``perf_counter`` and peak incremental memory with
+``tracemalloc`` (Python allocations, numpy buffers included). tracemalloc
+adds per-allocation overhead, so timing and memory are measured in
+*separate* runs when ``memory=True`` -- the reported seconds never include
+tracing overhead.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """Outcome of one measured call."""
+
+    result: Any
+    seconds: float
+    peak_mb: float | None
+
+
+def measure(fn: Callable[[], Any], memory: bool = True) -> MeasuredRun:
+    """Run ``fn`` and report wall time and (optionally) peak memory.
+
+    Args:
+        fn: Zero-argument callable; its return value is passed through.
+        memory: Also run once under tracemalloc for the peak-memory
+            figure. The timed run is always untraced.
+    """
+    start = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - start
+    peak_mb = None
+    if memory:
+        tracemalloc.start()
+        try:
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        peak_mb = peak / (1024 * 1024)
+    return MeasuredRun(result=result, seconds=seconds, peak_mb=peak_mb)

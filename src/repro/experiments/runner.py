@@ -1,0 +1,147 @@
+"""Generic sweep runner shared by all figure drivers.
+
+A sweep varies one workload parameter over a grid, generates ``repeats``
+instances per grid point (different seeds), runs each requested solver,
+validates feasibility of every arrangement, and averages MaxSum / time /
+memory. :class:`Sweep` renders the same rows the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.algorithms import get_solver
+from repro.core.model import Instance
+from repro.core.validation import validate_arrangement
+from repro.experiments.metrics import measure
+from repro.experiments.reporting import format_table
+
+#: The algorithm set of Fig. 3 / Fig. 4.
+DEFAULT_SOLVERS = ("greedy", "mincostflow", "random-v", "random-u")
+
+
+@dataclass(frozen=True)
+class Record:
+    """Averaged result of one (grid point, solver) cell."""
+
+    x: object
+    solver: str
+    max_sum: float
+    seconds: float
+    peak_mb: float
+    n_pairs: float
+
+
+@dataclass
+class Sweep:
+    """Results of one parameter sweep (one figure column)."""
+
+    name: str
+    x_label: str
+    records: list[Record] = field(default_factory=list)
+
+    def solvers(self) -> list[str]:
+        seen: list[str] = []
+        for record in self.records:
+            if record.solver not in seen:
+                seen.append(record.solver)
+        return seen
+
+    def series(self, solver: str, metric: str) -> list[tuple[object, float]]:
+        """(x, value) pairs for one solver and metric column."""
+        return [
+            (r.x, getattr(r, metric)) for r in self.records if r.solver == solver
+        ]
+
+    def render(self) -> str:
+        """The figure's three panels (MaxSum, seconds, MB) as tables."""
+        blocks = [f"== {self.name} =="]
+        for metric, title in (
+            ("max_sum", "MaxSum"),
+            ("seconds", "running time (s)"),
+            ("peak_mb", "peak memory (MB)"),
+        ):
+            solvers = self.solvers()
+            xs = []
+            for record in self.records:
+                if record.x not in xs:
+                    xs.append(record.x)
+            rows = []
+            for x in xs:
+                row: list[object] = [x]
+                for solver in solvers:
+                    values = dict(self.series(solver, metric))
+                    row.append(values.get(x))
+                rows.append(row)
+            blocks.append(f"-- {title} --")
+            blocks.append(format_table([self.x_label, *solvers], rows))
+        return "\n".join(blocks)
+
+
+def run_solver_on(
+    instance: Instance, solver_name: str, memory: bool = True, **solver_kwargs
+) -> Record:
+    """Run one solver on one instance, validating the output."""
+    solver = get_solver(solver_name, **solver_kwargs)
+    run = measure(lambda: solver.solve(instance), memory=memory)
+    arrangement = run.result
+    validate_arrangement(arrangement)
+    return Record(
+        x=None,
+        solver=solver_name,
+        max_sum=arrangement.max_sum(),
+        seconds=run.seconds,
+        peak_mb=run.peak_mb if run.peak_mb is not None else 0.0,
+        n_pairs=float(len(arrangement)),
+    )
+
+
+def sweep_parameter(
+    name: str,
+    x_label: str,
+    grid: Sequence[object],
+    instance_factory: Callable[[object, int], Instance],
+    solvers: Sequence[str] = DEFAULT_SOLVERS,
+    repeats: int = 3,
+    memory: bool = True,
+    solver_kwargs: dict[str, dict] | None = None,
+) -> Sweep:
+    """Run ``solvers`` over ``grid``, averaging ``repeats`` seeds per point.
+
+    Args:
+        instance_factory: ``(grid value, seed) -> Instance``. A fresh
+            instance per (point, seed); all solvers at a point share it.
+        solver_kwargs: Optional per-solver constructor arguments.
+    """
+    solver_kwargs = solver_kwargs or {}
+    sweep = Sweep(name=name, x_label=x_label)
+    for x in grid:
+        accumulators = {s: [0.0, 0.0, 0.0, 0.0] for s in solvers}
+        for seed in range(repeats):
+            instance = instance_factory(x, seed)
+            for solver_name in solvers:
+                record = run_solver_on(
+                    instance,
+                    solver_name,
+                    memory=memory,
+                    **solver_kwargs.get(solver_name, {}),
+                )
+                acc = accumulators[solver_name]
+                acc[0] += record.max_sum
+                acc[1] += record.seconds
+                acc[2] += record.peak_mb
+                acc[3] += record.n_pairs
+        for solver_name in solvers:
+            acc = accumulators[solver_name]
+            sweep.records.append(
+                Record(
+                    x=x,
+                    solver=solver_name,
+                    max_sum=acc[0] / repeats,
+                    seconds=acc[1] / repeats,
+                    peak_mb=acc[2] / repeats,
+                    n_pairs=acc[3] / repeats,
+                )
+            )
+    return sweep

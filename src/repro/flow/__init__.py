@@ -1,0 +1,29 @@
+"""Minimum-cost-flow substrate.
+
+The paper's MinCostFlow-GEACC algorithm (Section III.A) reduces the
+conflict-free relaxation of GEACC to a minimum cost flow problem and cites
+the Successive Shortest Path Algorithm (SSPA) as the method of choice for
+large, many-to-many assignment networks with real-valued arc costs. This
+subpackage implements that substrate from scratch:
+
+* :class:`repro.flow.network.FlowNetwork` -- a residual flow network stored
+  in paired-arc (forward/backward) adjacency form.
+* :class:`repro.flow.sspa.SuccessiveShortestPaths` -- incremental SSPA with
+  Johnson potentials and Dijkstra searches, supporting unit-by-unit or
+  bottleneck augmentation so the Delta-sweep of Algorithm 1 can observe the
+  cost after every amount of flow.
+* :func:`repro.flow.maxflow.max_flow` -- Dinic's algorithm, used by the
+  Theorem 1 reduction tests and available as a general substrate.
+"""
+
+from repro.flow.network import Arc, FlowNetwork
+from repro.flow.sspa import SuccessiveShortestPaths, min_cost_flow
+from repro.flow.maxflow import max_flow
+
+__all__ = [
+    "Arc",
+    "FlowNetwork",
+    "SuccessiveShortestPaths",
+    "min_cost_flow",
+    "max_flow",
+]

@@ -1,0 +1,73 @@
+"""Dinic's maximum-flow algorithm.
+
+Used by the Theorem 1 reduction machinery (the MFCGS source problem is a
+max-flow problem with a conflict graph) and exposed as a general substrate.
+Operates on the same :class:`repro.flow.network.FlowNetwork` as the
+min-cost solver.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.flow.network import FlowNetwork
+
+
+def max_flow(network: FlowNetwork, source: int, sink: int) -> int:
+    """Compute the maximum ``source -> sink`` flow with Dinic's algorithm.
+
+    The network's arc flows are updated in place; the return value is the
+    total units routed by this call.
+    """
+    if source == sink:
+        return 0
+    total = 0
+    while True:
+        level = _bfs_levels(network, source, sink)
+        if level[sink] < 0:
+            return total
+        iters = [0] * network.n_nodes
+        while True:
+            pushed = _dfs_push(network, source, sink, float("inf"), level, iters)
+            if pushed == 0:
+                break
+            total += pushed
+
+
+def _bfs_levels(network: FlowNetwork, source: int, sink: int) -> list[int]:
+    level = [-1] * network.n_nodes
+    level[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for arc_index in network.adjacency[node]:
+            arc = network.arcs[arc_index]
+            if arc.residual > 0 and level[arc.head] < 0:
+                level[arc.head] = level[node] + 1
+                queue.append(arc.head)
+    return level
+
+
+def _dfs_push(
+    network: FlowNetwork,
+    node: int,
+    sink: int,
+    limit: float,
+    level: list[int],
+    iters: list[int],
+) -> int:
+    if node == sink:
+        return int(limit)
+    adjacency = network.adjacency[node]
+    while iters[node] < len(adjacency):
+        arc_index = adjacency[iters[node]]
+        arc = network.arcs[arc_index]
+        if arc.residual > 0 and level[arc.head] == level[node] + 1:
+            pushed = _dfs_push(
+                network, arc.head, sink, min(limit, arc.residual), level, iters
+            )
+            if pushed > 0:
+                network.push(arc_index, pushed)
+                return pushed
+        iters[node] += 1
+    return 0

@@ -1,0 +1,115 @@
+"""Residual flow-network representation.
+
+Arcs are stored in a single flat list where the arc at index ``i`` and the
+arc at index ``i ^ 1`` are a forward/backward residual pair. This is the
+classic competitive-programming layout: pushing ``f`` units along arc ``i``
+is ``arcs[i].flow += f; arcs[i ^ 1].flow -= f`` and the residual capacity of
+any arc is ``cap - flow``. The layout keeps augmentation O(path length)
+with no hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import FlowError
+
+
+@dataclass
+class Arc:
+    """One directed arc of the residual network.
+
+    Attributes:
+        head: Node the arc points to.
+        cap: Total capacity of the arc (0 for pure residual arcs).
+        cost: Cost per unit of flow. The paired residual arc carries
+            ``-cost``.
+        flow: Current flow on the arc; may be negative on residual arcs.
+    """
+
+    head: int
+    cap: int
+    cost: float
+    flow: int = 0
+
+    @property
+    def residual(self) -> int:
+        """Remaining capacity available for augmentation."""
+        return self.cap - self.flow
+
+
+@dataclass
+class FlowNetwork:
+    """A directed flow network with paired residual arcs.
+
+    Build with :meth:`add_node` / :meth:`add_arc`, then hand to
+    :class:`repro.flow.sspa.SuccessiveShortestPaths` or
+    :func:`repro.flow.maxflow.max_flow`.
+    """
+
+    n_nodes: int = 0
+    arcs: list[Arc] = field(default_factory=list)
+    adjacency: list[list[int]] = field(default_factory=list)
+
+    def add_node(self) -> int:
+        """Append a node and return its index."""
+        self.adjacency.append([])
+        self.n_nodes += 1
+        return self.n_nodes - 1
+
+    def add_nodes(self, count: int) -> range:
+        """Append ``count`` nodes, returning the range of new indices."""
+        if count < 0:
+            raise FlowError(f"cannot add a negative number of nodes: {count}")
+        start = self.n_nodes
+        for _ in range(count):
+            self.add_node()
+        return range(start, self.n_nodes)
+
+    def add_arc(self, tail: int, head: int, cap: int, cost: float = 0.0) -> int:
+        """Add a ``tail -> head`` arc plus its residual twin.
+
+        Returns the index of the forward arc; the twin lives at
+        ``index ^ 1``.
+        """
+        self._check_node(tail)
+        self._check_node(head)
+        if cap < 0:
+            raise FlowError(f"arc capacity must be non-negative, got {cap}")
+        index = len(self.arcs)
+        self.arcs.append(Arc(head=head, cap=cap, cost=cost))
+        self.arcs.append(Arc(head=tail, cap=0, cost=-cost))
+        self.adjacency[tail].append(index)
+        self.adjacency[head].append(index + 1)
+        return index
+
+    def push(self, arc_index: int, amount: int) -> None:
+        """Push ``amount`` units along ``arc_index`` and update its twin."""
+        arc = self.arcs[arc_index]
+        if amount > arc.residual:
+            raise FlowError(
+                f"push of {amount} exceeds residual {arc.residual} on arc {arc_index}"
+            )
+        arc.flow += amount
+        self.arcs[arc_index ^ 1].flow -= amount
+
+    def flow_on(self, arc_index: int) -> int:
+        """Net flow currently routed on a forward arc."""
+        return self.arcs[arc_index].flow
+
+    def total_cost(self) -> float:
+        """Total cost of the current flow (forward arcs only)."""
+        return sum(
+            arc.flow * arc.cost
+            for i, arc in enumerate(self.arcs)
+            if i % 2 == 0 and arc.flow > 0
+        )
+
+    def reset_flow(self) -> None:
+        """Zero out all flow, keeping the topology."""
+        for arc in self.arcs:
+            arc.flow = 0
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise FlowError(f"node {node} out of range [0, {self.n_nodes})")

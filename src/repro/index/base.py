@@ -1,0 +1,68 @@
+"""Common interface for nearest-neighbour indexes."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.exceptions import EmptyIndexError
+
+
+class NNIndex(ABC):
+    """Incremental nearest-neighbour index over a fixed point set.
+
+    Subclasses index a ``(n, d)`` array of points once at construction and
+    answer queries with :meth:`stream`, which yields ``(index, distance)``
+    pairs in non-decreasing Euclidean distance until the point set is
+    exhausted. :meth:`query` is a convenience wrapper for top-k queries.
+    """
+
+    def __init__(self, points: np.ndarray) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {points.shape}")
+        self._points = points
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed point array, shape ``(n, d)``."""
+        return self._points
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self._points.shape[1]
+
+    @abstractmethod
+    def stream(self, query: np.ndarray) -> Iterator[tuple[int, float]]:
+        """Yield ``(point_index, distance)`` in non-decreasing distance."""
+
+    def query(self, query: np.ndarray, k: int = 1) -> list[tuple[int, float]]:
+        """Return the ``k`` nearest points as ``(index, distance)`` pairs.
+
+        Raises:
+            EmptyIndexError: If the index contains no points.
+        """
+        if len(self) == 0:
+            raise EmptyIndexError("cannot query an empty index")
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        result = []
+        for item in self.stream(query):
+            result.append(item)
+            if len(result) == k:
+                break
+        return result
+
+    def _validate_query(self, query: np.ndarray) -> np.ndarray:
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.shape[0] != self.dim:
+            raise ValueError(
+                f"query has dimension {query.shape[0]}, index has {self.dim}"
+            )
+        return query

@@ -1,0 +1,114 @@
+"""From-scratch kd-tree with best-first incremental nearest-neighbour.
+
+The tree splits on the widest-spread coordinate at the median, bottoming
+out in small leaves. :meth:`KDTreeIndex.stream` runs the classic best-first
+traversal with a priority queue mixing subtree lower bounds and concrete
+points, so it yields neighbours one at a time in exact ascending distance
+without computing all distances up front.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.base import NNIndex
+
+_LEAF_SIZE = 16
+
+
+@dataclass
+class _Node:
+    """One kd-tree node; a leaf iff ``indices`` is not None."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+    indices: np.ndarray | None = None
+    axis: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+
+def _build(points: np.ndarray, indices: np.ndarray, leaf_size: int) -> _Node:
+    subset = points[indices]
+    lo = subset.min(axis=0)
+    hi = subset.max(axis=0)
+    if indices.shape[0] <= leaf_size:
+        return _Node(lo=lo, hi=hi, indices=indices)
+    spread = hi - lo
+    axis = int(np.argmax(spread))
+    if spread[axis] == 0.0:
+        # All points identical; keep them in one leaf regardless of size.
+        return _Node(lo=lo, hi=hi, indices=indices)
+    values = subset[:, axis]
+    order = np.argsort(values, kind="stable")
+    mid = indices.shape[0] // 2
+    threshold = float(values[order[mid]])
+    left_mask = values < threshold
+    if not left_mask.any() or left_mask.all():
+        # Degenerate split (many duplicates at the median); fall back to a
+        # half/half partition by rank to guarantee progress.
+        left_idx = indices[order[:mid]]
+        right_idx = indices[order[mid:]]
+    else:
+        left_idx = indices[left_mask]
+        right_idx = indices[~left_mask]
+    node = _Node(lo=lo, hi=hi, axis=axis, threshold=threshold)
+    node.left = _build(points, left_idx, leaf_size)
+    node.right = _build(points, right_idx, leaf_size)
+    return node
+
+
+def _box_distance(node: _Node, query: np.ndarray) -> float:
+    """Euclidean distance from ``query`` to the node's bounding box."""
+    clipped = np.clip(query, node.lo, node.hi)
+    diff = query - clipped
+    return float(np.sqrt(diff @ diff))
+
+
+class KDTreeIndex(NNIndex):
+    """kd-tree index with exact incremental neighbour streams."""
+
+    def __init__(self, points: np.ndarray, leaf_size: int = _LEAF_SIZE) -> None:
+        super().__init__(points)
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be positive, got {leaf_size}")
+        self._leaf_size = leaf_size
+        if len(self) > 0:
+            self._root = _build(self._points, np.arange(len(self)), leaf_size)
+        else:
+            self._root = None
+
+    def stream(self, query: np.ndarray) -> Iterator[tuple[int, float]]:
+        query = self._validate_query(query)
+        if self._root is None:
+            return
+        # Heap entries: (distance, tiebreak, payload). Payload is either a
+        # subtree (lower-bounded by its box distance) or a concrete point
+        # index. A point is exact once it reaches the heap top because
+        # every unexplored subtree there has a larger lower bound.
+        counter = itertools.count()
+        heap: list[tuple[float, int, int | None, _Node | None]] = [
+            (_box_distance(self._root, query), next(counter), None, self._root)
+        ]
+        while heap:
+            dist, _, point_index, node = heapq.heappop(heap)
+            if node is None:
+                yield point_index, dist
+                continue
+            if node.indices is not None:
+                diffs = self._points[node.indices] - query
+                dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+                for idx, d in zip(node.indices, dists):
+                    heapq.heappush(heap, (float(d), next(counter), int(idx), None))
+            else:
+                for child in (node.left, node.right):
+                    heapq.heappush(
+                        heap,
+                        (_box_distance(child, query), next(counter), None, child),
+                    )

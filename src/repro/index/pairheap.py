@@ -1,0 +1,68 @@
+"""Max-similarity candidate heap for Greedy-GEACC.
+
+Algorithm 2 of the paper maintains a heap ``H`` of candidate
+(event, user) pairs, popping the most similar pair each iteration, with
+the invariant that **no pair is pushed into H more than once**. This class
+packages the heap together with the membership bookkeeping that invariant
+requires: ``contains`` answers "is this pair currently in H", and
+``was_pushed`` answers "has this pair ever been in H".
+
+Ties on similarity are broken deterministically by (event, user) index so
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class CandidatePairHeap:
+    """Heap of (event, user) candidates ordered by non-increasing sim."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int]] = []
+        self._in_heap: set[tuple[int, int]] = set()
+        self._ever_pushed: set[tuple[int, int]] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def contains(self, event: int, user: int) -> bool:
+        """True if the pair is currently waiting in the heap."""
+        return (event, user) in self._in_heap
+
+    def was_pushed(self, event: int, user: int) -> bool:
+        """True if the pair has ever been pushed (in heap or popped)."""
+        return (event, user) in self._ever_pushed
+
+    def push(self, event: int, user: int, sim: float) -> bool:
+        """Push a pair unless it was ever pushed before.
+
+        Returns True if the pair was actually added.
+        """
+        key = (event, user)
+        if key in self._ever_pushed:
+            return False
+        self._ever_pushed.add(key)
+        self._in_heap.add(key)
+        heapq.heappush(self._heap, (-sim, event, user))
+        return True
+
+    def pop(self) -> tuple[int, int, float]:
+        """Pop and return ``(event, user, sim)`` with the largest sim.
+
+        Raises:
+            IndexError: If the heap is empty.
+        """
+        neg_sim, event, user = heapq.heappop(self._heap)
+        self._in_heap.discard((event, user))
+        return event, user, -neg_sim
+
+    def peek_sim(self) -> float | None:
+        """Similarity of the top pair, or None when empty."""
+        if not self._heap:
+            return None
+        return -self._heap[0][0]

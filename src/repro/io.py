@@ -1,0 +1,179 @@
+"""Persistence: save and load instances and arrangements.
+
+Two formats:
+
+* **JSON** (:func:`save_instance_json` / :func:`load_instance_json`) --
+  human-readable, good for small instances, fixtures and interchange.
+* **NPZ** (:func:`save_instance_npz` / :func:`load_instance_npz`) --
+  compressed numpy archive for large instances (attribute matrices stay
+  binary).
+
+Arrangements serialise as JSON pair lists with the MaxSum recorded for
+integrity checking on load.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.conflicts import ConflictGraph
+from repro.core.model import Arrangement, Instance
+from repro.exceptions import ReproError
+
+_FORMAT_VERSION = 1
+
+
+def _instance_payload(instance: Instance) -> dict:
+    payload: dict = {
+        "version": _FORMAT_VERSION,
+        "event_capacities": instance.event_capacities.tolist(),
+        "user_capacities": instance.user_capacities.tolist(),
+        "conflicts": sorted(instance.conflicts.pairs),
+        "t": instance.t,
+        "metric": instance.metric,
+    }
+    if instance.event_attributes is not None:
+        payload["event_attributes"] = instance.event_attributes.tolist()
+        payload["user_attributes"] = instance.user_attributes.tolist()
+    else:
+        payload["sims"] = instance.sims.tolist()
+    return payload
+
+
+def save_instance_json(instance: Instance, path: str | Path) -> None:
+    """Write an instance to a JSON file.
+
+    Attribute-backed instances store attributes (similarity recomputes on
+    load); matrix-backed instances store the matrix.
+    """
+    Path(path).write_text(json.dumps(_instance_payload(instance)))
+
+
+def load_instance_json(path: str | Path) -> Instance:
+    """Load an instance written by :func:`save_instance_json`.
+
+    Raises:
+        ReproError: On a missing/garbled payload or unknown version.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read instance from {path}: {exc}") from exc
+    return _instance_from_payload(payload, path)
+
+
+def _instance_from_payload(payload: dict, path) -> Instance:
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: unsupported instance format version {version!r}"
+        )
+    cv = np.asarray(payload["event_capacities"], dtype=np.int64)
+    cu = np.asarray(payload["user_capacities"], dtype=np.int64)
+    conflicts = ConflictGraph(
+        len(cv), [tuple(pair) for pair in payload["conflicts"]]
+    )
+    if "event_attributes" in payload:
+        return Instance.from_attributes(
+            np.asarray(payload["event_attributes"], dtype=np.float64),
+            np.asarray(payload["user_attributes"], dtype=np.float64),
+            cv,
+            cu,
+            conflicts,
+            t=payload["t"],
+            metric=payload.get("metric", "euclidean"),
+        )
+    return Instance.from_matrix(
+        np.asarray(payload["sims"], dtype=np.float64), cv, cu, conflicts
+    )
+
+
+def save_instance_npz(instance: Instance, path: str | Path) -> None:
+    """Write an instance to a compressed ``.npz`` archive."""
+    arrays: dict[str, np.ndarray] = {
+        "version": np.array([_FORMAT_VERSION]),
+        "event_capacities": instance.event_capacities,
+        "user_capacities": instance.user_capacities,
+        "conflicts": np.array(sorted(instance.conflicts.pairs), dtype=np.int64).reshape(-1, 2),
+        "t": np.array([instance.t]),
+        "metric": np.array([instance.metric]),
+    }
+    if instance.event_attributes is not None:
+        arrays["event_attributes"] = instance.event_attributes
+        arrays["user_attributes"] = instance.user_attributes
+    else:
+        arrays["sims"] = instance.sims
+    np.savez_compressed(path, **arrays)
+
+
+def load_instance_npz(path: str | Path) -> Instance:
+    """Load an instance written by :func:`save_instance_npz`."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["version"][0])
+            if version != _FORMAT_VERSION:
+                raise ReproError(
+                    f"{path}: unsupported instance format version {version}"
+                )
+            cv = data["event_capacities"]
+            cu = data["user_capacities"]
+            conflicts = ConflictGraph(
+                len(cv), [tuple(int(x) for x in pair) for pair in data["conflicts"]]
+            )
+            if "event_attributes" in data:
+                return Instance.from_attributes(
+                    data["event_attributes"],
+                    data["user_attributes"],
+                    cv,
+                    cu,
+                    conflicts,
+                    t=float(data["t"][0]),
+                    metric=str(data["metric"][0]),
+                )
+            return Instance.from_matrix(data["sims"], cv, cu, conflicts)
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+        raise ReproError(f"cannot read instance from {path}: {exc}") from exc
+
+
+def save_arrangement_json(arrangement: Arrangement, path: str | Path) -> None:
+    """Write an arrangement's pairs (and MaxSum checksum) to JSON."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "pairs": arrangement.pairs(),
+        "max_sum": arrangement.max_sum(),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_arrangement_json(
+    path: str | Path, instance: Instance, check: bool = True
+) -> Arrangement:
+    """Load an arrangement against ``instance``.
+
+    Args:
+        check: Verify the recorded MaxSum matches the recomputed one
+            (catches instance/arrangement mismatches).
+
+    Raises:
+        ReproError: On unreadable payloads or a MaxSum mismatch.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read arrangement from {path}: {exc}") from exc
+    arrangement = Arrangement(instance)
+    for event, user in payload["pairs"]:
+        arrangement.add(int(event), int(user))
+    if check:
+        recomputed = arrangement.max_sum()
+        recorded = payload["max_sum"]
+        if abs(recomputed - recorded) > 1e-6:
+            raise ReproError(
+                f"{path}: recorded MaxSum {recorded} != recomputed "
+                f"{recomputed}; wrong instance?"
+            )
+    return arrangement

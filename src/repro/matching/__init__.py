@@ -1,0 +1,22 @@
+"""Classical bipartite-matching substrate.
+
+The paper positions GEACC against maximum-weight bipartite matching
+([2][3] in its related work): with no conflicts and all capacities 1,
+GEACC *is* that classical problem. This subpackage implements the
+classics from scratch so that special case can be cross-checked
+end-to-end:
+
+* :func:`repro.matching.hungarian.max_weight_matching` -- the Hungarian
+  algorithm (Jonker-Volgenant style shortest augmenting paths) for
+  maximum-weight bipartite matching;
+* :func:`repro.matching.hopcroft_karp.maximum_matching` -- Hopcroft-Karp
+  maximum-cardinality bipartite matching.
+
+``tests/property`` verifies that GEACC solvers on conflict-free
+unit-capacity instances agree with these references.
+"""
+
+from repro.matching.hungarian import max_weight_matching
+from repro.matching.hopcroft_karp import maximum_matching
+
+__all__ = ["max_weight_matching", "maximum_matching"]

@@ -1,0 +1,80 @@
+"""Hopcroft-Karp maximum-cardinality bipartite matching.
+
+O(E sqrt(V)): repeated phases of BFS layering plus a DFS that augments a
+maximal set of vertex-disjoint shortest augmenting paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+_INF = float("inf")
+
+
+def maximum_matching(
+    n_left: int, n_right: int, edges: Iterable[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Maximum-cardinality matching of the bipartite graph ``edges``.
+
+    Args:
+        n_left: Number of left vertices (0-based indices).
+        n_right: Number of right vertices.
+        edges: Iterable of ``(left, right)`` pairs.
+
+    Returns:
+        Matched ``(left, right)`` pairs sorted by left index.
+
+    Raises:
+        ValueError: If an edge references an out-of-range vertex.
+    """
+    adjacency: list[list[int]] = [[] for _ in range(n_left)]
+    for left, right in edges:
+        if not 0 <= left < n_left or not 0 <= right < n_right:
+            raise ValueError(f"edge ({left}, {right}) out of range")
+        adjacency[left].append(right)
+
+    match_left = [-1] * n_left
+    match_right = [-1] * n_right
+
+    def bfs_layers() -> bool:
+        queue = deque()
+        layer = [_INF] * n_left
+        for left in range(n_left):
+            if match_left[left] == -1:
+                layer[left] = 0
+                queue.append(left)
+        found_free = False
+        while queue:
+            left = queue.popleft()
+            for right in adjacency[left]:
+                nxt = match_right[right]
+                if nxt == -1:
+                    found_free = True
+                elif layer[nxt] is _INF:
+                    layer[nxt] = layer[left] + 1
+                    queue.append(nxt)
+        self_layers[:] = layer
+        return found_free
+
+    def dfs_augment(left: int) -> bool:
+        for right in adjacency[left]:
+            nxt = match_right[right]
+            if nxt == -1 or (
+                self_layers[nxt] == self_layers[left] + 1 and dfs_augment(nxt)
+            ):
+                match_left[left] = right
+                match_right[right] = left
+                return True
+        self_layers[left] = _INF
+        return False
+
+    self_layers: list[float] = [_INF] * n_left
+    while bfs_layers():
+        for left in range(n_left):
+            if match_left[left] == -1:
+                dfs_augment(left)
+
+    return sorted(
+        (left, match_left[left]) for left in range(n_left) if match_left[left] != -1
+    )

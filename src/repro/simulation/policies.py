@@ -1,0 +1,145 @@
+"""Arrangement policies for the dynamic-EBSN simulator.
+
+A :class:`Policy` receives lifecycle callbacks from the simulator and
+mutates the arrangement through the :class:`SimulationState` guard API.
+Two policies are provided; both are deterministic:
+
+* :class:`GreedyArrivalPolicy` -- pure first-come-first-served: when a
+  user arrives, give them their best feasible open events; when an event
+  is posted, offer it to already-arrived users with spare capacity.
+* :class:`RebatchPolicy` -- additionally, just before any event freezes
+  (and that is the only moment a better arrangement still matters for
+  it), tear down all assignments among *open* events and re-run a static
+  GEACC solver on the open sub-problem, honouring frozen commitments
+  (consumed user capacity, conflicts with frozen events).
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+
+import numpy as np
+
+from repro.core.algorithms import Solver, get_solver
+from repro.core.model import Instance
+from repro.simulation.simulator import SimulationState
+
+
+class Policy(ABC):
+    """Base policy: every callback defaults to doing nothing."""
+
+    name = "noop"
+
+    def on_start(self, state: SimulationState) -> None:
+        """Called once before any moment is replayed."""
+
+    def on_event_posted(self, state: SimulationState, event: int) -> None:
+        """Called after ``event`` becomes visible."""
+
+    def on_user_arrival(self, state: SimulationState, user: int) -> None:
+        """Called after ``user`` becomes visible."""
+
+    def before_event_freeze(self, state: SimulationState, event: int) -> None:
+        """Called immediately before ``event`` freezes."""
+
+    def on_end(self, state: SimulationState) -> None:
+        """Called once after the horizon."""
+
+
+class GreedyArrivalPolicy(Policy):
+    """First-come-first-served seat assignment."""
+
+    name = "greedy-arrival"
+
+    def on_user_arrival(self, state: SimulationState, user: int) -> None:
+        self._fill_user(state, user)
+
+    def on_event_posted(self, state: SimulationState, event: int) -> None:
+        # Offer the new event to already-arrived users, most interested
+        # first, while seats and user capacity allow.
+        sims = state.instance.sim_row(event)
+        for user in sorted(
+            state.arrived_users, key=lambda u: (-sims[u], u)
+        ):
+            if state.arrangement.event_remaining(event) <= 0:
+                break
+            if sims[user] > 0 and state.can_assign(event, user):
+                state.assign(event, user)
+
+    def _fill_user(self, state: SimulationState, user: int) -> None:
+        sims = state.instance.sim_col(user)
+        for event in np.argsort(-sims, kind="stable"):
+            event = int(event)
+            if sims[event] <= 0 or state.arrangement.user_remaining(user) <= 0:
+                break
+            if state.can_assign(event, user):
+                state.assign(event, user)
+
+
+class RebatchPolicy(GreedyArrivalPolicy):
+    """Greedy arrival plus a global re-arrangement before each freeze.
+
+    Args:
+        solver: Static solver (instance or registry name) used for the
+            re-arrangement of the open sub-problem. Defaults to
+            Greedy-GEACC.
+    """
+
+    name = "rebatch"
+
+    def __init__(self, solver: Solver | str = "greedy") -> None:
+        self._solver = get_solver(solver) if isinstance(solver, str) else solver
+        self.rebatches = 0
+
+    def before_event_freeze(self, state: SimulationState, event: int) -> None:
+        self._rebatch(state)
+
+    def _rebatch(self, state: SimulationState) -> None:
+        """Re-solve the open sub-problem from scratch.
+
+        Builds a restricted instance over *all* events/users where a pair
+        is only usable (sim > 0) if its event is open, its user has
+        arrived, and the user's frozen commitments do not conflict with
+        the event. User capacities are reduced by frozen seats; frozen
+        events get capacity 0 in the sub-problem.
+        """
+        instance = state.instance
+        open_events = sorted(state.open_events)
+        if not open_events:
+            return
+        # Tear down standing assignments among open events.
+        for event in open_events:
+            for user in state.arrangement.users_of(event):
+                state.unassign(event, user)
+
+        sims = np.zeros((instance.n_events, instance.n_users))
+        arrived = sorted(state.arrived_users)
+        conflicts = instance.conflicts
+        for event in open_events:
+            row = instance.sim_row(event)
+            for user in arrived:
+                if row[user] <= 0:
+                    continue
+                frozen_commitments = state.arrangement.events_of(user)
+                if conflicts.conflicts_with_any(event, frozen_commitments):
+                    continue
+                sims[event, user] = row[user]
+
+        event_capacities = np.where(
+            np.isin(np.arange(instance.n_events), open_events),
+            instance.event_capacities,
+            0,
+        )
+        user_remaining = np.array(
+            [state.arrangement.user_remaining(u) for u in range(instance.n_users)]
+        )
+        sub_instance = Instance(
+            event_capacities,
+            user_remaining,
+            conflicts,
+            sims=sims,
+        )
+        solution = self._solver.solve(sub_instance)
+        for event, user in solution.pairs():
+            state.assign(event, user)
+        self.rebatches += 1

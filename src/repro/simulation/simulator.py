@@ -1,0 +1,172 @@
+"""Discrete-event simulator for the EBSN arrangement lifecycle.
+
+The simulator replays a :class:`~repro.simulation.workload.Timeline` over
+a GEACC instance in chronological order. Three kinds of moments exist:
+
+* **event posted** -- the event becomes *visible* (assignable);
+* **user arrives** -- the user becomes visible; the policy may react;
+* **event starts** -- the event *freezes*: its attendee list at that
+  instant is final and contributes to the achieved MaxSum.
+
+Policies mutate the arrangement only through :class:`SimulationState`,
+which enforces the lifecycle rules: pairs may only be added between
+visible, unfrozen events and arrived users, must satisfy every GEACC
+constraint, and pairs involving frozen events can never be removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import Arrangement, Instance
+from repro.core.validation import validate_arrangement
+from repro.exceptions import ReproError
+from repro.simulation.workload import Timeline
+
+
+class SimulationState:
+    """The policy-facing view of the running simulation."""
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self.arrangement = Arrangement(instance)
+        self.now = 0.0
+        self._visible_events: set[int] = set()
+        self._frozen_events: set[int] = set()
+        self._arrived_users: set[int] = set()
+
+    @property
+    def open_events(self) -> frozenset[int]:
+        """Events currently posted and not yet frozen."""
+        return frozenset(self._visible_events - self._frozen_events)
+
+    @property
+    def frozen_events(self) -> frozenset[int]:
+        return frozenset(self._frozen_events)
+
+    @property
+    def arrived_users(self) -> frozenset[int]:
+        return frozenset(self._arrived_users)
+
+    def can_assign(self, event: int, user: int) -> bool:
+        """Lifecycle rules + the usual GEACC feasibility guard."""
+        return (
+            event in self._visible_events
+            and event not in self._frozen_events
+            and user in self._arrived_users
+            and self.instance.sim(event, user) > 0
+            and self.arrangement.can_add(event, user)
+        )
+
+    def assign(self, event: int, user: int) -> None:
+        """Add a pair; policies must only call this when allowed.
+
+        Raises:
+            ReproError: If the lifecycle or feasibility rules forbid it.
+        """
+        if not self.can_assign(event, user):
+            raise ReproError(
+                f"cannot assign event {event} to user {user} at t={self.now}"
+            )
+        self.arrangement.add(event, user)
+
+    def unassign(self, event: int, user: int) -> None:
+        """Remove a pair -- only while the event has not frozen."""
+        if event in self._frozen_events:
+            raise ReproError(f"event {event} is frozen; cannot revoke seats")
+        self.arrangement.remove(event, user)
+
+    # Internal lifecycle transitions (driven by the Simulator).
+
+    def _post_event(self, event: int) -> None:
+        self._visible_events.add(event)
+
+    def _freeze_event(self, event: int) -> None:
+        self._frozen_events.add(event)
+
+    def _arrive_user(self, user: int) -> None:
+        self._arrived_users.add(user)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    achieved_max_sum: float
+    arrangement: Arrangement
+    n_assignments: int
+    events_frozen: int
+    timeline_horizon: float
+    policy_name: str
+
+    def summary(self) -> str:
+        return (
+            f"policy={self.policy_name}: MaxSum={self.achieved_max_sum:.3f}, "
+            f"{self.n_assignments} assignments, "
+            f"{self.events_frozen} events frozen by t={self.timeline_horizon:.1f}"
+        )
+
+
+class Simulator:
+    """Replays a timeline over an instance under a policy.
+
+    Args:
+        instance: The full GEACC instance (entities become visible over
+            time per the timeline).
+        timeline: Posting/start/arrival times; validated against the
+            instance.
+    """
+
+    def __init__(self, instance: Instance, timeline: Timeline) -> None:
+        timeline.validate_against(instance)
+        self.instance = instance
+        self.timeline = timeline
+
+    def run(self, policy: "Policy") -> SimulationResult:  # noqa: F821
+        """Run the simulation to the horizon and score the outcome.
+
+        The final arrangement (frozen events' seats plus any standing
+        assignments to never-started events -- none with the bundled
+        timelines, where every event starts) is validated against the
+        full instance before scoring.
+        """
+        from repro.simulation.policies import Policy  # cycle guard
+
+        if not isinstance(policy, Policy):
+            raise ReproError(f"{policy!r} is not a simulation Policy")
+        state = SimulationState(self.instance)
+        moments: list[tuple[float, int, str, int]] = []
+        # Tie-break order within one instant: post events (0), arrivals
+        # (1), policy ticks happen via callbacks, freezes last (2) -- a
+        # user arriving exactly at start time still catches the event.
+        for event, t in enumerate(self.timeline.post_times):
+            moments.append((float(t), 0, "post", event))
+        for user, t in enumerate(self.timeline.arrival_times):
+            moments.append((float(t), 1, "arrive", user))
+        for event, t in enumerate(self.timeline.start_times):
+            moments.append((float(t), 2, "freeze", event))
+        moments.sort()
+
+        policy.on_start(state)
+        for t, _, kind, entity in moments:
+            state.now = t
+            if kind == "post":
+                state._post_event(entity)
+                policy.on_event_posted(state, entity)
+            elif kind == "arrive":
+                state._arrive_user(entity)
+                policy.on_user_arrival(state, entity)
+            else:
+                policy.before_event_freeze(state, entity)
+                state._freeze_event(entity)
+        policy.on_end(state)
+
+        validate_arrangement(state.arrangement)
+        return SimulationResult(
+            achieved_max_sum=state.arrangement.max_sum(),
+            arrangement=state.arrangement,
+            n_assignments=len(state.arrangement),
+            events_frozen=len(state.frozen_events),
+            timeline_horizon=self.timeline.horizon,
+            policy_name=policy.name,
+        )

@@ -1,0 +1,9 @@
+"""Theory machinery: the NP-hardness reduction of Theorem 1."""
+
+from repro.theory.reduction import (
+    MFCGSInstance,
+    mfcgs_max_flow,
+    reduce_to_geacc,
+)
+
+__all__ = ["MFCGSInstance", "mfcgs_max_flow", "reduce_to_geacc"]

@@ -1,0 +1,158 @@
+"""Theorem 1: reduction from MFCGS to GEACC.
+
+MFCGS is the maximum-flow problem on disjoint length-3 paths
+``s -> p_i1 -> p_i2 -> t`` with a conflict graph over arcs (at most one of
+two conflicting arcs may carry flow). It is NP-hard [Pferschy & Schauer],
+and the paper reduces it to GEACC:
+
+1. each middle node ``p_i2`` becomes an event with capacity 1;
+2. events of conflicting paths become conflicting events;
+3. nodes ``p_i1`` of mutually conflicting paths are merged into one user
+   whose capacity is the number of merged nodes; non-conflicting paths
+   get their own capacity-1 user;
+4. the (event, user) interestingness is ``r_Pi / R`` on path pairs
+   (``r_Pi`` = the path's bottleneck capacity, ``R`` = sum of bottlenecks)
+   and 0 elsewhere.
+
+Then MFCGS admits a flow of value k iff the GEACC instance admits a
+matching with MaxSum = k / R.
+
+This module builds that construction (so the equivalence can be verified
+end-to-end in tests against brute-force MFCGS) and provides
+:func:`mfcgs_max_flow`, a reference MFCGS solver that enumerates maximal
+conflict-respecting path subsets and routes flow with
+:func:`repro.flow.maxflow.max_flow` -- exponential, fine for test sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.conflicts import ConflictGraph
+from repro.core.model import Instance
+from repro.exceptions import ReductionError
+
+
+@dataclass
+class MFCGSInstance:
+    """Disjoint length-3 paths with arc conflicts.
+
+    Attributes:
+        path_capacities: Per path, the capacities of its three arcs
+            ``(s -> p_i1, p_i1 -> p_i2, p_i2 -> t)``.
+        conflicts: Pairs ``((i, a), (j, b))``: arc ``a`` (0..2) of path i
+            conflicts with arc ``b`` of path j. The paper WLOG requires
+            ``i != j`` (conflicting arcs on one path make it unusable and
+            the path would simply be dropped).
+    """
+
+    path_capacities: list[tuple[int, int, int]]
+    conflicts: list[tuple[tuple[int, int], tuple[int, int]]] = field(
+        default_factory=list
+    )
+
+    def __post_init__(self) -> None:
+        for i, caps in enumerate(self.path_capacities):
+            if len(caps) != 3 or any(c < 0 for c in caps):
+                raise ReductionError(f"path {i} needs three non-negative capacities")
+        for (i, a), (j, b) in self.conflicts:
+            if i == j:
+                raise ReductionError(
+                    f"conflict within path {i}; drop the path instead (paper's WLOG)"
+                )
+            for path, arc in ((i, a), (j, b)):
+                if not 0 <= path < len(self.path_capacities):
+                    raise ReductionError(f"conflict references unknown path {path}")
+                if arc not in (0, 1, 2):
+                    raise ReductionError(f"arc position {arc} not in 0..2")
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.path_capacities)
+
+    def bottleneck(self, path: int) -> int:
+        """``r_Pi = min`` of the path's three arc capacities."""
+        return min(self.path_capacities[path])
+
+    def conflicting_paths(self) -> set[tuple[int, int]]:
+        """Path-level conflict pairs implied by arc conflicts."""
+        return {
+            (min(i, j), max(i, j)) for (i, _), (j, _) in self.conflicts
+        }
+
+
+def mfcgs_max_flow(mfcgs: MFCGSInstance) -> int:
+    """Reference MFCGS optimum by enumerating conflict-free path subsets.
+
+    A feasible solution routes flow only on a set of paths that is an
+    independent set in the path-level conflict graph; on such a set the
+    max flow is simply the sum of path bottlenecks (paths are disjoint).
+    Exponential in the number of *conflicted* paths only.
+    """
+    conflict_pairs = mfcgs.conflicting_paths()
+    conflicted = sorted({p for pair in conflict_pairs for p in pair})
+    free_paths = [p for p in range(mfcgs.n_paths) if p not in conflicted]
+    base = sum(mfcgs.bottleneck(p) for p in free_paths)
+    best_extra = 0
+    for size in range(len(conflicted) + 1):
+        for subset in combinations(conflicted, size):
+            chosen = set(subset)
+            if any(
+                (min(i, j), max(i, j)) in conflict_pairs
+                for i, j in combinations(chosen, 2)
+            ):
+                continue
+            extra = sum(mfcgs.bottleneck(p) for p in chosen)
+            best_extra = max(best_extra, extra)
+    return base + best_extra
+
+
+def reduce_to_geacc(mfcgs: MFCGSInstance) -> tuple[Instance, float]:
+    """Build the Theorem 1 GEACC instance.
+
+    Returns:
+        ``(instance, r_total)`` where a target flow ``k`` corresponds to
+        the GEACC decision threshold ``MaxSum >= k / r_total``.
+
+    Raises:
+        ReductionError: If every path has zero bottleneck (R would be 0).
+    """
+    n = mfcgs.n_paths
+    r = [mfcgs.bottleneck(i) for i in range(n)]
+    r_total = sum(r)
+    if r_total == 0:
+        raise ReductionError("all path bottlenecks are zero; R = 0")
+
+    # (1)-(2): one capacity-1 event per path; conflicts follow paths.
+    conflict_pairs = mfcgs.conflicting_paths()
+    conflicts = ConflictGraph(n, conflict_pairs)
+
+    # (3): merge p_i1 nodes of mutually conflicting paths into one user.
+    # Connected components of the path-level conflict graph share a user.
+    component = list(range(n))
+
+    def find(x: int) -> int:
+        while component[x] != x:
+            component[x] = component[component[x]]
+            x = component[x]
+        return x
+
+    for i, j in conflict_pairs:
+        component[find(i)] = find(j)
+    roots = sorted({find(i) for i in range(n)})
+    user_of_path = {i: roots.index(find(i)) for i in range(n)}
+    user_capacities = np.zeros(len(roots), dtype=np.int64)
+    for i in range(n):
+        user_capacities[user_of_path[i]] += 1
+
+    # (4): interestingness r_Pi / R on each path's (event, user) pair.
+    sims = np.zeros((n, len(roots)))
+    for i in range(n):
+        sims[i, user_of_path[i]] = r[i] / r_total
+
+    event_capacities = np.ones(n, dtype=np.int64)
+    instance = Instance.from_matrix(sims, event_capacities, user_capacities, conflicts)
+    return instance, float(r_total)

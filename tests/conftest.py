@@ -1,0 +1,58 @@
+"""Shared fixtures: the Table I toy instance and small random instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.conflicts import ConflictGraph
+from repro.core.model import Instance
+from repro.core.toy import toy_instance
+from repro.datagen.synthetic import SyntheticConfig, generate_instance
+
+
+@pytest.fixture
+def toy() -> Instance:
+    """The paper's Table I instance (3 events, 5 users, one conflict)."""
+    return toy_instance()
+
+
+@pytest.fixture
+def small_instance() -> Instance:
+    """A small synthetic instance with conflicts, fixed seed."""
+    config = SyntheticConfig(
+        n_events=8, n_users=30, cv_high=6, cu_high=3, conflict_ratio=0.3
+    )
+    return generate_instance(config, seed=123)
+
+
+@pytest.fixture
+def medium_instance() -> Instance:
+    """A medium synthetic instance (Table III shape at 1/10 scale)."""
+    config = SyntheticConfig(
+        n_events=20, n_users=120, cv_high=10, cu_high=4, conflict_ratio=0.25
+    )
+    return generate_instance(config, seed=7)
+
+
+def random_matrix_instance(
+    rng: np.random.Generator,
+    n_events: int,
+    n_users: int,
+    max_cv: int = 4,
+    max_cu: int = 3,
+    conflict_ratio: float = 0.3,
+    zero_fraction: float = 0.1,
+) -> Instance:
+    """Helper for property tests: explicit-matrix instance.
+
+    A ``zero_fraction`` of similarities is forced to exactly 0 so the
+    ``sim > 0`` constraint paths get exercised.
+    """
+    sims = rng.random((n_events, n_users))
+    zeros = rng.random((n_events, n_users)) < zero_fraction
+    sims[zeros] = 0.0
+    event_capacities = rng.integers(1, max_cv + 1, size=n_events)
+    user_capacities = rng.integers(1, max_cu + 1, size=n_users)
+    conflicts = ConflictGraph.random(n_events, conflict_ratio, rng)
+    return Instance.from_matrix(sims, event_capacities, user_capacities, conflicts)

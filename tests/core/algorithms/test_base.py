@@ -1,0 +1,40 @@
+"""Tests for the solver registry."""
+
+import pytest
+
+from repro.core.algorithms import SOLVERS, Solver, get_solver, register_solver
+
+
+def test_all_paper_solvers_registered():
+    for name in ("greedy", "mincostflow", "prune", "exhaustive", "random-v",
+                 "random-u", "local-search"):
+        assert name in SOLVERS
+
+
+def test_get_solver_instantiates():
+    solver = get_solver("greedy")
+    assert solver.name == "greedy"
+    assert isinstance(solver, Solver)
+
+
+def test_get_solver_forwards_kwargs():
+    solver = get_solver("mincostflow", engine="generic")
+    assert solver._engine == "generic"
+
+
+def test_unknown_solver():
+    with pytest.raises(ValueError, match="unknown solver"):
+        get_solver("simulated-annealing")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+
+        @register_solver("greedy")
+        class Duplicate(Solver):  # pragma: no cover - never used
+            def solve(self, instance):
+                raise NotImplementedError
+
+
+def test_repr():
+    assert "GreedyGEACC" in repr(get_solver("greedy"))

@@ -1,0 +1,79 @@
+"""Tests for the fairness-aware greedy extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import GreedyGEACC
+from repro.core.algorithms.fair_greedy import FairGreedyGEACC
+from repro.core.analysis import analyze
+from repro.core.model import Instance
+from repro.core.validation import validate_arrangement
+from tests.conftest import random_matrix_instance
+
+
+def test_feasible(medium_instance):
+    arrangement = FairGreedyGEACC(fairness=2.0).solve(medium_instance)
+    validate_arrangement(arrangement)
+    assert arrangement.max_sum() > 0
+
+
+def test_negative_fairness_rejected():
+    with pytest.raises(ValueError):
+        FairGreedyGEACC(fairness=-1.0)
+
+
+def test_zero_fairness_maximal():
+    """fairness=0 keeps plain greedy's maximality property."""
+    rng = np.random.default_rng(71)
+    for _ in range(5):
+        instance = random_matrix_instance(rng, 4, 8, max_cv=3, max_cu=2)
+        arrangement = FairGreedyGEACC(fairness=0.0).solve(instance)
+        validate_arrangement(arrangement)
+        for v in range(instance.n_events):
+            for u in range(instance.n_users):
+                if instance.sim(v, u) > 0 and (v, u) not in arrangement:
+                    assert not arrangement.can_add(v, u)
+
+
+def test_zero_fairness_matches_greedy_value(medium_instance):
+    """Same selection rule => same MaxSum as Greedy-GEACC (the matching
+    itself may differ on similarity ties)."""
+    fair = FairGreedyGEACC(fairness=0.0).solve(medium_instance)
+    greedy = GreedyGEACC().solve(medium_instance)
+    assert fair.max_sum() == pytest.approx(greedy.max_sum(), rel=1e-6)
+
+
+def test_fairness_flattens_satisfaction(medium_instance):
+    plain = analyze(FairGreedyGEACC(fairness=0.0).solve(medium_instance))
+    fair = analyze(FairGreedyGEACC(fairness=5.0).solve(medium_instance))
+    assert fair.satisfaction_gini <= plain.satisfaction_gini + 1e-9
+    assert fair.users_matched >= plain.users_matched
+    # The price of fairness: bounded MaxSum loss on this workload.
+    assert fair.max_sum >= plain.max_sum * 0.8
+
+
+def test_spreads_events_across_users():
+    """One great user, two events; fairness shares them out."""
+    sims = np.array([[0.9, 0.5], [0.8, 0.45]])
+    instance = Instance.from_matrix(sims, np.array([1, 1]), np.array([2, 2]))
+    greedy = FairGreedyGEACC(fairness=0.0).solve(instance)
+    assert greedy.pairs() == [(0, 0), (1, 0)]  # user 0 takes both
+    fair = FairGreedyGEACC(fairness=10.0).solve(instance)
+    assert fair.pairs() == [(0, 0), (1, 1)]  # event 1 goes to user 1
+
+
+def test_deterministic(medium_instance):
+    a = FairGreedyGEACC(fairness=1.0).solve(medium_instance)
+    b = FairGreedyGEACC(fairness=1.0).solve(medium_instance)
+    assert a.pairs() == b.pairs()
+
+
+def test_empty_instance():
+    instance = Instance.from_matrix(np.zeros((0, 0)), np.zeros(0), np.zeros(0))
+    assert len(FairGreedyGEACC().solve(instance)) == 0
+
+
+def test_registered():
+    from repro.core.algorithms import get_solver
+
+    assert isinstance(get_solver("fair-greedy"), FairGreedyGEACC)

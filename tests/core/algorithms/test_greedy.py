@@ -1,0 +1,133 @@
+"""Tests for Greedy-GEACC (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import GreedyGEACC, PruneGEACC
+from repro.core.algorithms.neighbors import (
+    IndexNeighborOrders,
+    MatrixNeighborOrders,
+)
+from repro.core.conflicts import ConflictGraph
+from repro.core.model import Arrangement, Instance
+from repro.core.validation import validate_arrangement
+from tests.conftest import random_matrix_instance
+
+
+def test_feasible_on_small_instance(small_instance):
+    arrangement = GreedyGEACC().solve(small_instance)
+    validate_arrangement(arrangement)
+    assert arrangement.max_sum() > 0
+
+
+def test_deterministic(small_instance):
+    a = GreedyGEACC().solve(small_instance)
+    b = GreedyGEACC().solve(small_instance)
+    assert a.pairs() == b.pairs()
+
+
+def test_maximality_lemma5(small_instance):
+    """Lemma 5: no unmatched positive-sim pair can still be added."""
+    arrangement = GreedyGEACC().solve(small_instance)
+    sims = small_instance.sims
+    for v in range(small_instance.n_events):
+        for u in range(small_instance.n_users):
+            if (v, u) in arrangement or sims[v, u] <= 0:
+                continue
+            assert not arrangement.can_add(v, u), (
+                f"pair ({v}, {u}) with sim {sims[v, u]} is still addable"
+            )
+
+
+def test_approximation_ratio_vs_exact():
+    rng = np.random.default_rng(11)
+    for _ in range(8):
+        instance = random_matrix_instance(rng, 4, 7, max_cv=3, max_cu=3)
+        greedy = GreedyGEACC().solve(instance).max_sum()
+        optimum = PruneGEACC().solve(instance).max_sum()
+        alpha = instance.max_user_capacity
+        assert greedy >= optimum / (1 + alpha) - 1e-9
+
+
+def test_no_conflicts_one_capacity_is_greedy_matching():
+    """With c = 1 everywhere and no conflicts, GEACC is bipartite matching;
+    greedy picks pairs in global similarity order."""
+    sims = np.array([[0.9, 0.8], [0.85, 0.1]])
+    instance = Instance.from_matrix(
+        sims, np.array([1, 1]), np.array([1, 1])
+    )
+    arrangement = GreedyGEACC().solve(instance)
+    # Greedy takes (0,0)=0.9 first, then (1,1)=0.1 (0.85 and 0.8 blocked).
+    assert arrangement.pairs() == [(0, 0), (1, 1)]
+
+
+def test_complete_conflicts_limits_users_to_one_event():
+    rng = np.random.default_rng(3)
+    sims = rng.random((4, 6))
+    instance = Instance.from_matrix(
+        sims,
+        np.full(4, 3),
+        np.full(6, 4),
+        ConflictGraph.complete(4),
+    )
+    arrangement = GreedyGEACC().solve(instance)
+    validate_arrangement(arrangement)
+    for u in range(6):
+        assert len(arrangement.events_of(u)) <= 1
+
+
+def test_zero_similarity_pairs_never_matched():
+    sims = np.array([[0.0, 0.0], [0.5, 0.0]])
+    instance = Instance.from_matrix(sims, np.array([2, 2]), np.array([2, 2]))
+    arrangement = GreedyGEACC().solve(instance)
+    assert arrangement.pairs() == [(1, 0)]
+
+
+def test_zero_capacity_nodes_ignored():
+    sims = np.array([[0.9, 0.8], [0.7, 0.6]])
+    instance = Instance.from_matrix(sims, np.array([0, 2]), np.array([1, 0]))
+    arrangement = GreedyGEACC().solve(instance)
+    validate_arrangement(arrangement)
+    assert arrangement.pairs() == [(1, 0)]
+
+
+def test_empty_instance():
+    instance = Instance.from_matrix(np.zeros((0, 0)), np.zeros(0), np.zeros(0))
+    arrangement = GreedyGEACC().solve(instance)
+    assert len(arrangement) == 0
+
+
+def test_index_backends_agree_with_matrix(medium_instance):
+    reference = GreedyGEACC().solve(medium_instance).max_sum()
+    for kind in ("linear", "chunked", "kdtree", "idistance"):
+        config_instance = Instance.from_attributes(
+            medium_instance.event_attributes,
+            medium_instance.user_attributes,
+            medium_instance.event_capacities,
+            medium_instance.user_capacities,
+            medium_instance.conflicts,
+            t=medium_instance.t,
+        )
+        result = GreedyGEACC(index_kind=kind).solve(config_instance)
+        validate_arrangement(result)
+        assert result.max_sum() == pytest.approx(reference)
+
+
+def test_index_orders_require_attributes(toy):
+    with pytest.raises(ValueError, match="attribute-backed"):
+        IndexNeighborOrders(toy)
+
+
+def test_solve_with_explicit_orders(small_instance):
+    orders = MatrixNeighborOrders(small_instance)
+    arrangement = GreedyGEACC().solve_with_orders(small_instance, orders)
+    reference = GreedyGEACC().solve(small_instance)
+    assert arrangement.pairs() == reference.pairs()
+
+
+def test_respects_user_capacity_exactly():
+    """A user with capacity 2 in a sea of great events gets exactly 2."""
+    sims = np.full((5, 1), 0.9)
+    instance = Instance.from_matrix(sims, np.ones(5, dtype=int), np.array([2]))
+    arrangement = GreedyGEACC().solve(instance)
+    assert len(arrangement.events_of(0)) == 2

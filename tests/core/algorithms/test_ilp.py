@@ -1,0 +1,76 @@
+"""Tests for the MILP exact solver (optimum oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import ExhaustiveGEACC, ILPGEACC, PruneGEACC
+from repro.core.conflicts import ConflictGraph
+from repro.core.model import Instance
+from repro.core.toy import OPTIMAL_MAXSUM, toy_instance
+from repro.core.validation import validate_arrangement
+from tests.conftest import random_matrix_instance
+
+
+def test_toy_optimum():
+    arrangement = ILPGEACC().solve(toy_instance())
+    validate_arrangement(arrangement)
+    assert arrangement.max_sum() == pytest.approx(OPTIMAL_MAXSUM)
+
+
+def test_matches_prune_on_random_instances():
+    rng = np.random.default_rng(61)
+    for _ in range(10):
+        instance = random_matrix_instance(rng, 4, 6, max_cv=3, max_cu=2)
+        ilp = ILPGEACC().solve(instance)
+        validate_arrangement(ilp)
+        prune = PruneGEACC().solve(instance).max_sum()
+        assert ilp.max_sum() == pytest.approx(prune, abs=1e-6)
+
+
+def test_matches_exhaustive():
+    rng = np.random.default_rng(62)
+    instance = random_matrix_instance(rng, 3, 5, max_cv=2, max_cu=2)
+    ilp = ILPGEACC().solve(instance).max_sum()
+    exhaustive = ExhaustiveGEACC().solve(instance).max_sum()
+    assert ilp == pytest.approx(exhaustive, abs=1e-6)
+
+
+def test_respects_conflicts():
+    sims = np.array([[0.9], [0.8], [0.5]])
+    conflicts = ConflictGraph(3, [(0, 1)])
+    instance = Instance.from_matrix(
+        sims, np.array([1, 1, 1]), np.array([2]), conflicts
+    )
+    arrangement = ILPGEACC().solve(instance)
+    assert arrangement.pairs() == [(0, 0), (2, 0)]
+
+
+def test_empty_and_zero_instances():
+    empty = Instance.from_matrix(np.zeros((0, 0)), np.zeros(0), np.zeros(0))
+    assert len(ILPGEACC().solve(empty)) == 0
+    zeros = Instance.from_matrix(
+        np.zeros((2, 3)), np.array([1, 1]), np.array([1, 1, 1])
+    )
+    assert len(ILPGEACC().solve(zeros)) == 0
+
+
+def test_solves_paper_fig5_configuration_quickly():
+    """The whole point of the oracle: reliable at |V|=5, |U|=15, c_u<=4."""
+    import time
+
+    from repro.datagen.synthetic import SyntheticConfig, generate_instance
+
+    config = SyntheticConfig(n_events=5, n_users=15, cv_high=10, cu_high=4)
+    start = time.perf_counter()
+    for seed in range(3):
+        for ratio in (0.0, 0.5, 1.0):
+            instance = generate_instance(config.with_(conflict_ratio=ratio), seed)
+            arrangement = ILPGEACC().solve(instance)
+            validate_arrangement(arrangement)
+    assert time.perf_counter() - start < 10.0
+
+
+def test_registered():
+    from repro.core.algorithms import get_solver
+
+    assert isinstance(get_solver("ilp"), ILPGEACC)

@@ -1,0 +1,86 @@
+"""Tests for the local-search extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import (
+    GreedyGEACC,
+    LocalSearchGEACC,
+    PruneGEACC,
+    RandomV,
+)
+from repro.core.conflicts import ConflictGraph
+from repro.core.model import Arrangement, Instance
+from repro.core.validation import validate_arrangement
+from tests.conftest import random_matrix_instance
+
+
+def test_never_decreases_maxsum(small_instance):
+    base = RandomV(seed=2)
+    improved = LocalSearchGEACC(base=base).solve(small_instance)
+    baseline = base.solve(small_instance)
+    validate_arrangement(improved)
+    assert improved.max_sum() >= baseline.max_sum() - 1e-12
+
+
+def test_improves_random_baseline(medium_instance):
+    base = RandomV(seed=2)
+    improved = LocalSearchGEACC(base=base).solve(medium_instance)
+    assert improved.max_sum() > base.solve(medium_instance).max_sum()
+
+
+def test_accepts_registry_name(small_instance):
+    improved = LocalSearchGEACC(base="random-u").solve(small_instance)
+    validate_arrangement(improved)
+
+
+def test_greedy_output_has_no_add_moves(small_instance):
+    """Lemma 5 again: adds find nothing on greedy output; swaps may."""
+    greedy = GreedyGEACC().solve(small_instance)
+    search = LocalSearchGEACC()
+    improved = search.improve(greedy)
+    validate_arrangement(improved)
+    assert improved.max_sum() >= greedy.max_sum() - 1e-12
+
+
+def test_never_exceeds_optimum():
+    rng = np.random.default_rng(41)
+    for _ in range(5):
+        instance = random_matrix_instance(rng, 4, 6, max_cv=2, max_cu=2)
+        improved = LocalSearchGEACC(base=RandomV(seed=1)).solve(instance)
+        optimum = PruneGEACC().solve(instance).max_sum()
+        validate_arrangement(improved)
+        assert improved.max_sum() <= optimum + 1e-9
+
+
+def test_swap_move_fires():
+    """Start from an arrangement where a swap is strictly improving."""
+    sims = np.array([[0.3], [0.9]])
+    instance = Instance.from_matrix(sims, np.array([1, 1]), np.array([1]))
+    start = Arrangement(instance)
+    start.add(0, 0)  # suboptimal: event 1 is better for user 0
+    improved = LocalSearchGEACC().improve(start)
+    assert improved.pairs() == [(1, 0)]
+    assert improved.max_sum() == pytest.approx(0.9)
+
+
+def test_swap_respects_conflicts():
+    sims = np.array([[0.5], [0.9], [0.6]])
+    conflicts = ConflictGraph(3, [(1, 2)])
+    instance = Instance.from_matrix(
+        sims, np.array([1, 1, 1]), np.array([2]), conflicts
+    )
+    start = Arrangement(instance)
+    start.add(0, 0)
+    start.add(2, 0)  # user 0 at events {0, 2}; event 1 conflicts with 2
+    improved = LocalSearchGEACC().improve(start)
+    validate_arrangement(improved)
+    # Swapping 0 -> 1 is blocked by the 1-2 conflict; best stays feasible.
+    assert improved.max_sum() >= start.max_sum()
+
+
+def test_does_not_mutate_input(small_instance):
+    start = RandomV(seed=3).solve(small_instance)
+    before = start.pairs()
+    LocalSearchGEACC().improve(start)
+    assert start.pairs() == before

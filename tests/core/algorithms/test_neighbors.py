@@ -1,0 +1,102 @@
+"""Tests for the neighbour-order providers."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms.neighbors import (
+    IndexNeighborOrders,
+    MatrixNeighborOrders,
+    neighbor_orders_for,
+)
+from repro.core.model import Instance
+
+
+@pytest.fixture
+def attribute_instance():
+    rng = np.random.default_rng(8)
+    return Instance.from_attributes(
+        rng.uniform(0, 10, (6, 3)),
+        rng.uniform(0, 10, (9, 3)),
+        np.full(6, 2),
+        np.full(9, 2),
+        t=10.0,
+    )
+
+
+def _is_non_increasing(values):
+    return all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestMatrixOrders:
+    def test_event_stream_order_and_coverage(self, attribute_instance):
+        orders = MatrixNeighborOrders(attribute_instance)
+        stream = list(orders.event_stream(2))
+        assert len(stream) == attribute_instance.n_users
+        assert {u for u, _ in stream} == set(range(attribute_instance.n_users))
+        assert _is_non_increasing([s for _, s in stream])
+
+    def test_user_stream_order(self, attribute_instance):
+        orders = MatrixNeighborOrders(attribute_instance)
+        stream = list(orders.user_stream(4))
+        assert len(stream) == attribute_instance.n_events
+        assert _is_non_increasing([s for _, s in stream])
+
+    def test_sims_match_instance(self, attribute_instance):
+        orders = MatrixNeighborOrders(attribute_instance)
+        for u, sim in orders.event_stream(0):
+            assert sim == pytest.approx(attribute_instance.sim(0, u))
+
+
+class TestIndexOrders:
+    @pytest.mark.parametrize("kind", ["linear", "chunked", "kdtree", "idistance"])
+    def test_agrees_with_matrix(self, attribute_instance, kind):
+        matrix = MatrixNeighborOrders(attribute_instance)
+        index = IndexNeighborOrders(attribute_instance, kind)
+        for v in range(attribute_instance.n_events):
+            matrix_sims = sorted(s for _, s in matrix.event_stream(v))
+            index_sims = sorted(round(s, 9) for _, s in index.event_stream(v))
+            np.testing.assert_allclose(index_sims, matrix_sims, atol=1e-9)
+
+    def test_user_stream_descending(self, attribute_instance):
+        orders = IndexNeighborOrders(attribute_instance, "kdtree")
+        stream = list(orders.user_stream(3))
+        assert _is_non_increasing([s for _, s in stream])
+
+    def test_requires_euclidean_metric(self):
+        rng = np.random.default_rng(9)
+        instance = Instance.from_attributes(
+            rng.uniform(0, 1, (2, 2)),
+            rng.uniform(0, 1, (3, 2)),
+            np.ones(2),
+            np.ones(3),
+            t=1.0,
+            metric="cosine",
+        )
+        with pytest.raises(ValueError, match="Euclidean"):
+            IndexNeighborOrders(instance)
+
+
+class TestAutoSelection:
+    def test_small_instance_uses_matrix(self, attribute_instance):
+        orders = neighbor_orders_for(attribute_instance)
+        assert isinstance(orders, MatrixNeighborOrders)
+
+    def test_forced_kind(self, attribute_instance):
+        orders = neighbor_orders_for(attribute_instance, index_kind="kdtree")
+        assert isinstance(orders, IndexNeighborOrders)
+
+    def test_huge_lazy_instance_uses_index(self, monkeypatch):
+        import repro.core.algorithms.neighbors as neighbors_module
+
+        monkeypatch.setattr(neighbors_module, "_MATRIX_CELL_LIMIT", 10)
+        rng = np.random.default_rng(10)
+        instance = Instance.from_attributes(
+            rng.uniform(0, 1, (4, 2)),
+            rng.uniform(0, 1, (5, 2)),
+            np.ones(4),
+            np.ones(5),
+            t=1.0,
+        )
+        orders = neighbor_orders_for(instance)
+        assert isinstance(orders, IndexNeighborOrders)
+        assert not instance.has_matrix

@@ -1,0 +1,147 @@
+"""Tests for Prune-GEACC / exhaustive search (Algorithms 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import ExhaustiveGEACC, GreedyGEACC, PruneGEACC
+from repro.core.conflicts import ConflictGraph
+from repro.core.model import Instance
+from repro.core.validation import validate_arrangement
+from repro.exceptions import ReproError
+from tests.conftest import random_matrix_instance
+
+
+def test_matches_exhaustive_on_random_instances():
+    """Pruning must never change the optimum, only the work done."""
+    rng = np.random.default_rng(31)
+    for _ in range(6):
+        instance = random_matrix_instance(rng, 3, 5, max_cv=2, max_cu=2)
+        pruned = PruneGEACC().solve(instance)
+        exhaustive = ExhaustiveGEACC().solve(instance)
+        validate_arrangement(pruned)
+        validate_arrangement(exhaustive)
+        assert pruned.max_sum() == pytest.approx(exhaustive.max_sum())
+
+
+def test_dominates_greedy():
+    rng = np.random.default_rng(32)
+    for _ in range(6):
+        instance = random_matrix_instance(rng, 4, 6, max_cv=2, max_cu=2)
+        optimum = PruneGEACC().solve(instance).max_sum()
+        greedy = GreedyGEACC().solve(instance).max_sum()
+        assert optimum >= greedy - 1e-9
+
+
+def test_prune_does_less_work_than_exhaustive():
+    rng = np.random.default_rng(33)
+    instance = random_matrix_instance(rng, 3, 6, max_cv=3, max_cu=2)
+    pruned = PruneGEACC()
+    exhaustive = ExhaustiveGEACC()
+    pruned.solve(instance)
+    exhaustive.solve(instance)
+    assert pruned.stats.invocations < exhaustive.stats.invocations
+    assert pruned.stats.complete_searches <= exhaustive.stats.complete_searches
+    assert exhaustive.stats.prune_count == 0
+    assert pruned.stats.prune_count > 0
+
+
+def test_stats_reset_between_solves():
+    rng = np.random.default_rng(34)
+    instance = random_matrix_instance(rng, 2, 3)
+    solver = PruneGEACC()
+    solver.solve(instance)
+    first = solver.stats.invocations
+    solver.solve(instance)
+    assert solver.stats.invocations == first
+
+
+def test_greedy_seed_ablation_same_optimum():
+    rng = np.random.default_rng(35)
+    instance = random_matrix_instance(rng, 3, 5, max_cv=2, max_cu=2)
+    seeded = PruneGEACC(greedy_seed=True)
+    unseeded = PruneGEACC(greedy_seed=False)
+    a = seeded.solve(instance)
+    b = unseeded.solve(instance)
+    assert a.max_sum() == pytest.approx(b.max_sum())
+    # The warm start can only help (fewer or equal invocations).
+    assert seeded.stats.invocations <= unseeded.stats.invocations
+
+
+def test_invocation_limit_raises():
+    rng = np.random.default_rng(36)
+    instance = random_matrix_instance(rng, 4, 8, max_cv=4, max_cu=3)
+    with pytest.raises(ReproError, match="invocation limit"):
+        ExhaustiveGEACC(invocation_limit=50).solve(instance)
+
+
+def test_max_depth_bounded_by_pairs():
+    rng = np.random.default_rng(37)
+    instance = random_matrix_instance(rng, 3, 4, max_cv=2, max_cu=2)
+    solver = PruneGEACC()
+    solver.solve(instance)
+    assert solver.stats.max_depth <= instance.n_events * instance.n_users
+
+
+def test_average_prune_depth_empty_is_zero():
+    from repro.core.algorithms.prune import SearchStats
+
+    assert SearchStats().average_prune_depth == 0.0
+
+
+def test_respects_conflicts_optimally():
+    """Hand-checkable optimum with a binding conflict."""
+    # One user, capacity 2; events 0/1 conflict; event 2 free.
+    # Optimum: take 0 (0.9) and 2 (0.5) = 1.4, not 0+1 (infeasible) nor 1+2.
+    sims = np.array([[0.9], [0.8], [0.5]])
+    conflicts = ConflictGraph(3, [(0, 1)])
+    instance = Instance.from_matrix(
+        sims, np.array([1, 1, 1]), np.array([2]), conflicts
+    )
+    arrangement = PruneGEACC().solve(instance)
+    assert arrangement.pairs() == [(0, 0), (2, 0)]
+    assert arrangement.max_sum() == pytest.approx(1.4)
+
+
+def test_greedy_suboptimal_instance_prune_finds_optimum():
+    """An instance where greedy provably loses and exact recovers."""
+    # Greedy takes (0, u0)=0.9 which blocks conflicting event 1 for u0;
+    # optimum pairs event 0 with u1 and event 1 with u0.
+    sims = np.array([[0.9, 0.85], [0.8, 0.0]])
+    conflicts = ConflictGraph(2, [(0, 1)])
+    instance = Instance.from_matrix(
+        sims, np.array([1, 1]), np.array([1, 1]), conflicts
+    )
+    greedy = GreedyGEACC().solve(instance)
+    exact = PruneGEACC().solve(instance)
+    assert greedy.max_sum() == pytest.approx(0.9)
+    assert exact.max_sum() == pytest.approx(0.85 + 0.8)
+
+
+def test_empty_instance():
+    instance = Instance.from_matrix(np.zeros((0, 0)), np.zeros(0), np.zeros(0))
+    assert len(PruneGEACC().solve(instance)) == 0
+
+
+def test_tight_bound_same_optimum():
+    rng = np.random.default_rng(38)
+    for _ in range(8):
+        instance = random_matrix_instance(rng, 4, 6, max_cv=3, max_cu=2)
+        paper = PruneGEACC(bound="paper").solve(instance).max_sum()
+        tight = PruneGEACC(bound="tight").solve(instance).max_sum()
+        assert paper == pytest.approx(tight)
+
+
+def test_tight_bound_never_more_work():
+    rng = np.random.default_rng(39)
+    for _ in range(6):
+        instance = random_matrix_instance(rng, 4, 7, max_cv=3, max_cu=2)
+        paper = PruneGEACC(bound="paper")
+        tight = PruneGEACC(bound="tight")
+        paper.solve(instance)
+        tight.solve(instance)
+        assert tight.stats.invocations <= paper.stats.invocations
+
+
+def test_unknown_bound_rejected():
+    with pytest.raises(ValueError, match="unknown bound"):
+        PruneGEACC(bound="loose")

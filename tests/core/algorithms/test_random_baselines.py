@@ -1,0 +1,65 @@
+"""Tests for the Random-V / Random-U baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import GreedyGEACC, RandomU, RandomV
+from repro.core.model import Instance
+from repro.core.validation import validate_arrangement
+
+
+@pytest.mark.parametrize("cls", [RandomV, RandomU])
+def test_feasible(cls, small_instance):
+    arrangement = cls(seed=1).solve(small_instance)
+    validate_arrangement(arrangement)
+
+
+@pytest.mark.parametrize("cls", [RandomV, RandomU])
+def test_deterministic_per_seed(cls, small_instance):
+    a = cls(seed=5).solve(small_instance)
+    b = cls(seed=5).solve(small_instance)
+    assert a.pairs() == b.pairs()
+
+
+@pytest.mark.parametrize("cls", [RandomV, RandomU])
+def test_different_seeds_differ(cls, medium_instance):
+    a = cls(seed=1).solve(medium_instance)
+    b = cls(seed=2).solve(medium_instance)
+    assert a.pairs() != b.pairs()
+
+
+@pytest.mark.parametrize("cls", [RandomV, RandomU])
+def test_never_matches_zero_similarity(cls):
+    sims = np.array([[0.0, 0.9], [0.9, 0.0]])
+    instance = Instance.from_matrix(sims, np.array([2, 2]), np.array([2, 2]))
+    arrangement = cls(seed=0).solve(instance)
+    for v, u in arrangement.pairs():
+        assert sims[v, u] > 0
+
+
+def test_greedy_beats_baselines_on_average(medium_instance):
+    greedy = GreedyGEACC().solve(medium_instance).max_sum()
+    random_v = np.mean(
+        [RandomV(seed=s).solve(medium_instance).max_sum() for s in range(5)]
+    )
+    random_u = np.mean(
+        [RandomU(seed=s).solve(medium_instance).max_sum() for s in range(5)]
+    )
+    assert greedy > random_v
+    assert greedy > random_u
+
+
+@pytest.mark.parametrize("cls", [RandomV, RandomU])
+def test_empty_instance(cls):
+    instance = Instance.from_matrix(np.zeros((0, 0)), np.zeros(0), np.zeros(0))
+    assert len(cls().solve(instance)) == 0
+
+
+def test_random_v_probability_scales_with_capacity():
+    """An event with capacity |U| accepts every feasible user."""
+    rng_sims = np.full((1, 20), 0.5)
+    instance = Instance.from_matrix(
+        rng_sims, np.array([20]), np.ones(20, dtype=int)
+    )
+    arrangement = RandomV(seed=0).solve(instance)
+    assert len(arrangement) == 20

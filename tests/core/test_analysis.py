@@ -1,0 +1,78 @@
+"""Tests for arrangement analysis statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import GreedyGEACC, RandomV
+from repro.core.analysis import analyze, compare, gini
+from repro.core.model import Arrangement, Instance
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini(np.ones(10)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_winner_near_one(self):
+        values = np.zeros(100)
+        values[0] = 5.0
+        assert gini(values) > 0.95
+
+    def test_empty_and_zero(self):
+        assert gini(np.array([])) == 0.0
+        assert gini(np.zeros(5)) == 0.0
+
+    def test_order_invariant(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(50)
+        assert gini(values) == pytest.approx(gini(values[::-1]))
+
+    def test_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            g = gini(rng.random(20))
+            assert 0.0 <= g <= 1.0
+
+
+class TestAnalyze:
+    def test_empty_arrangement(self):
+        instance = Instance.from_matrix(
+            np.array([[0.5]]), np.array([2]), np.array([1])
+        )
+        stats = analyze(Arrangement(instance))
+        assert stats.max_sum == 0.0
+        assert stats.n_pairs == 0
+        assert stats.empty_events == 1
+        assert stats.users_matched == 0
+        assert stats.users_unmatched == 1
+
+    def test_full_arrangement(self):
+        instance = Instance.from_matrix(
+            np.array([[0.5, 0.7]]), np.array([2]), np.array([1, 1])
+        )
+        arrangement = Arrangement(instance)
+        arrangement.add(0, 0)
+        arrangement.add(0, 1)
+        stats = analyze(arrangement)
+        assert stats.max_sum == pytest.approx(1.2)
+        assert stats.event_fill_mean == pytest.approx(1.0)
+        assert stats.empty_events == 0
+        assert stats.users_matched == 2
+        assert stats.mean_pair_similarity == pytest.approx(0.6)
+
+    def test_on_real_solver_output(self, medium_instance):
+        stats = analyze(GreedyGEACC().solve(medium_instance))
+        assert stats.n_pairs > 0
+        assert 0 < stats.event_fill_mean <= 1.0
+        assert 0 <= stats.satisfaction_gini <= 1.0
+        assert "MaxSum" in stats.render()
+
+    def test_compare_table(self, small_instance):
+        table = compare(
+            {
+                "greedy": GreedyGEACC().solve(small_instance),
+                "random": RandomV(seed=0).solve(small_instance),
+            }
+        )
+        assert "greedy" in table
+        assert "random" in table
+        assert "satisfaction Gini" in table

@@ -1,0 +1,64 @@
+"""Tests for the optimum upper bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import PruneGEACC
+from repro.core.bounds import lp_bound, nn_capacity_bound, relaxation_bound
+from repro.core.toy import OPTIMAL_MAXSUM, toy_instance
+from tests.conftest import random_matrix_instance
+
+
+@pytest.fixture
+def toy():
+    return toy_instance()
+
+
+def test_nn_capacity_bound_dominates_optimum(toy):
+    assert nn_capacity_bound(toy) >= OPTIMAL_MAXSUM
+
+
+def test_relaxation_bound_dominates_optimum(toy):
+    bound = relaxation_bound(toy)
+    assert bound >= OPTIMAL_MAXSUM - 1e-9
+    # On the toy instance the conflict-free optimum is strictly better.
+    assert bound > OPTIMAL_MAXSUM
+
+
+def test_lp_bound_dominates_optimum(toy):
+    assert lp_bound(toy) >= OPTIMAL_MAXSUM - 1e-6
+
+
+def test_lp_tighter_or_equal_than_relaxation_on_random():
+    rng = np.random.default_rng(5)
+    for _ in range(5):
+        instance = random_matrix_instance(rng, 4, 6, max_cv=3, max_cu=2)
+        optimum = PruneGEACC().solve(instance).max_sum()
+        lp = lp_bound(instance)
+        relax = relaxation_bound(instance)
+        nn = nn_capacity_bound(instance)
+        assert lp >= optimum - 1e-6
+        assert relax >= optimum - 1e-9
+        assert nn >= optimum - 1e-9
+        # The LP includes the conflict constraints, so it is at least as
+        # tight as the unconflicted relaxation (it adds constraints but
+        # also relaxes integrality; verify it never exceeds nn bound badly).
+        assert lp <= relax + 1e-6
+
+
+def test_bounds_on_empty_instance():
+    from repro.core.model import Instance
+
+    instance = Instance.from_matrix(
+        np.zeros((0, 0)), np.zeros(0), np.zeros(0), None
+    )
+    assert nn_capacity_bound(instance) == 0.0
+
+
+def test_lp_bound_all_zero_sims():
+    from repro.core.model import Instance
+
+    instance = Instance.from_matrix(
+        np.zeros((2, 3)), np.array([1, 1]), np.array([1, 1, 1])
+    )
+    assert lp_bound(instance) == 0.0

@@ -1,0 +1,191 @@
+"""Tests for the conflict graph (Definition 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.conflicts import ConflictGraph
+from repro.exceptions import InvalidInstanceError
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        graph = ConflictGraph.empty(4)
+        assert len(graph) == 0
+        assert graph.density() == 0.0
+        assert not graph.are_conflicting(0, 3)
+
+    def test_add_pair_is_symmetric(self):
+        graph = ConflictGraph(3)
+        graph.add_pair(2, 0)
+        assert graph.are_conflicting(0, 2)
+        assert graph.are_conflicting(2, 0)
+        assert graph.pairs == frozenset({(0, 2)})
+
+    def test_self_conflict_rejected(self):
+        graph = ConflictGraph(3)
+        with pytest.raises(InvalidInstanceError):
+            graph.add_pair(1, 1)
+
+    def test_out_of_range_rejected(self):
+        graph = ConflictGraph(3)
+        with pytest.raises(InvalidInstanceError):
+            graph.add_pair(0, 3)
+        with pytest.raises(InvalidInstanceError):
+            graph.are_conflicting(-1, 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            ConflictGraph(-1)
+
+    def test_duplicate_pair_idempotent(self):
+        graph = ConflictGraph(3, [(0, 1), (1, 0)])
+        assert len(graph) == 1
+
+    def test_conflicts_with(self):
+        graph = ConflictGraph(4, [(0, 1), (0, 2)])
+        assert graph.conflicts_with(0) == frozenset({1, 2})
+        assert graph.conflicts_with(3) == frozenset()
+
+    def test_conflicts_with_any(self):
+        graph = ConflictGraph(4, [(0, 1)])
+        assert graph.conflicts_with_any(0, [3, 1])
+        assert not graph.conflicts_with_any(0, [2, 3])
+        assert not graph.conflicts_with_any(0, [])
+
+    def test_complete_graph_density(self):
+        graph = ConflictGraph.complete(5)
+        assert len(graph) == 10
+        assert graph.density() == pytest.approx(1.0)
+
+    def test_density_single_event(self):
+        assert ConflictGraph.empty(1).density() == 0.0
+
+
+class TestRandom:
+    def test_ratio_respected(self):
+        rng = np.random.default_rng(0)
+        graph = ConflictGraph.random(10, 0.5, rng)
+        assert len(graph) == round(0.5 * 45)
+
+    def test_ratio_zero_and_one(self):
+        rng = np.random.default_rng(0)
+        assert len(ConflictGraph.random(6, 0.0, rng)) == 0
+        assert len(ConflictGraph.random(6, 1.0, rng)) == 15
+
+    def test_invalid_ratio(self):
+        with pytest.raises(InvalidInstanceError):
+            ConflictGraph.random(5, 1.5, np.random.default_rng(0))
+
+    def test_deterministic_per_seed(self):
+        a = ConflictGraph.random(8, 0.4, np.random.default_rng(42))
+        b = ConflictGraph.random(8, 0.4, np.random.default_rng(42))
+        assert a.pairs == b.pairs
+
+
+class TestIntervals:
+    def test_overlap_conflicts(self):
+        # [0, 2) overlaps [1, 3); [4, 5) is disjoint from both.
+        graph = ConflictGraph.from_intervals([(0, 2), (1, 3), (4, 5)])
+        assert graph.are_conflicting(0, 1)
+        assert not graph.are_conflicting(0, 2)
+        assert not graph.are_conflicting(1, 2)
+
+    def test_back_to_back_do_not_conflict(self):
+        graph = ConflictGraph.from_intervals([(0, 2), (2, 4)])
+        assert len(graph) == 0
+
+    def test_nested_intervals_conflict(self):
+        graph = ConflictGraph.from_intervals([(0, 10), (2, 3)])
+        assert graph.are_conflicting(0, 1)
+
+    def test_invalid_interval(self):
+        with pytest.raises(InvalidInstanceError):
+            ConflictGraph.from_intervals([(3, 3)])
+
+    def test_paper_intro_scenario(self):
+        """Hiking 8-12, badminton 9-11, basketball 11:30-13:30 (1h away)."""
+        intervals = [(8.0, 12.0), (9.0, 11.0), (11.5, 13.5)]
+        # Badminton venue 30 units from basketball court at speed 30/h = 1h.
+        locations = [(0.0, 0.0), (0.0, 0.0), (30.0, 0.0)]
+        graph = ConflictGraph.from_schedule(intervals, locations, travel_speed=30.0)
+        assert graph.are_conflicting(0, 1)  # overlap
+        assert graph.are_conflicting(0, 2)  # hiking overlaps basketball? no --
+        # hiking ends 12:00, basketball starts 11:30 -> overlap. Yes.
+        # badminton ends 11:00, basketball starts 11:30: gap 0.5h < 1h travel.
+        assert graph.are_conflicting(1, 2)
+
+    def test_schedule_travel_feasible(self):
+        intervals = [(0.0, 1.0), (3.0, 4.0)]
+        locations = [(0.0, 0.0), (10.0, 0.0)]
+        graph = ConflictGraph.from_schedule(intervals, locations, travel_speed=10.0)
+        assert not graph.are_conflicting(0, 1)  # 2h gap, 1h travel
+
+    def test_schedule_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            ConflictGraph.from_schedule([(0, 1)], [(0, 0)], travel_speed=0.0)
+        with pytest.raises(InvalidInstanceError):
+            ConflictGraph.from_schedule([(0, 1)], [], travel_speed=1.0)
+
+
+class TestIndependenceBound:
+    def test_empty_graph_bound_is_n(self):
+        assert ConflictGraph.empty(6).independence_upper_bound() == 6
+
+    def test_complete_graph_bound_is_one(self):
+        assert ConflictGraph.complete(6).independence_upper_bound() == 1
+
+    def test_bound_dominates_true_independence_number(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            n = int(rng.integers(2, 9))
+            graph = ConflictGraph.random(n, float(rng.random()), rng)
+            bound = graph.independence_upper_bound()
+            # Brute-force the true independence number.
+            best = 0
+            for mask in range(1 << n):
+                members = [i for i in range(n) if mask >> i & 1]
+                if all(
+                    not graph.are_conflicting(a, b)
+                    for k, a in enumerate(members)
+                    for b in members[k + 1:]
+                ):
+                    best = max(best, len(members))
+            assert bound >= best
+
+    def test_disjoint_cliques(self):
+        # Two triangles: alpha = 2, greedy clique partition gives 2.
+        pairs = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        graph = ConflictGraph(6, pairs)
+        assert graph.independence_upper_bound() == 2
+
+    def test_zero_events(self):
+        assert ConflictGraph.empty(0).independence_upper_bound() == 0
+
+
+class TestGreedyColoring:
+    def test_empty_graph_one_color(self):
+        colors = ConflictGraph.empty(5).greedy_coloring()
+        assert colors == [0] * 5
+
+    def test_complete_graph_all_distinct(self):
+        colors = ConflictGraph.complete(4).greedy_coloring()
+        assert sorted(colors) == [0, 1, 2, 3]
+
+    def test_proper_coloring_on_random_graphs(self):
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            n = int(rng.integers(2, 15))
+            graph = ConflictGraph.random(n, float(rng.random()), rng)
+            colors = graph.greedy_coloring()
+            for i, j in graph.pairs:
+                assert colors[i] != colors[j]
+
+    def test_color_count_bounded_by_degree_plus_one(self):
+        rng = np.random.default_rng(10)
+        graph = ConflictGraph.random(12, 0.4, rng)
+        colors = graph.greedy_coloring()
+        max_degree = max(len(graph.conflicts_with(v)) for v in range(12))
+        assert max(colors) + 1 <= max_degree + 1
+
+    def test_zero_events(self):
+        assert ConflictGraph.empty(0).greedy_coloring() == []

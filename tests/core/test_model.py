@@ -1,0 +1,178 @@
+"""Tests for the Instance / Arrangement model."""
+
+import numpy as np
+import pytest
+
+from repro.core.conflicts import ConflictGraph
+from repro.core.model import Arrangement, Instance
+from repro.exceptions import InvalidInstanceError
+
+
+def matrix_instance(sims=None, cv=None, cu=None, conflicts=None) -> Instance:
+    sims = np.array([[0.5, 0.2], [0.9, 0.0]]) if sims is None else np.asarray(sims)
+    cv = np.array([1, 2]) if cv is None else np.asarray(cv)
+    cu = np.array([1, 1]) if cu is None else np.asarray(cu)
+    return Instance.from_matrix(sims, cv, cu, conflicts)
+
+
+class TestInstanceConstruction:
+    def test_from_matrix_shapes(self):
+        instance = matrix_instance()
+        assert instance.n_events == 2
+        assert instance.n_users == 2
+        assert instance.sim(0, 1) == pytest.approx(0.2)
+
+    def test_rejects_similarities_out_of_range(self):
+        with pytest.raises(InvalidInstanceError):
+            matrix_instance(sims=[[1.5, 0.0], [0.0, 0.0]])
+        with pytest.raises(InvalidInstanceError):
+            matrix_instance(sims=[[-0.1, 0.0], [0.0, 0.0]])
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(InvalidInstanceError):
+            matrix_instance(cv=[-1, 2])
+
+    def test_rejects_misshaped_capacities(self):
+        with pytest.raises(InvalidInstanceError):
+            matrix_instance(cv=[1, 2, 3])
+        with pytest.raises(InvalidInstanceError):
+            matrix_instance(cu=[1])
+
+    def test_rejects_mismatched_conflict_graph(self):
+        with pytest.raises(InvalidInstanceError):
+            matrix_instance(conflicts=ConflictGraph(5))
+
+    def test_requires_sims_or_attributes(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance(np.array([1]), np.array([1]))
+
+    def test_rejects_mismatched_attribute_dims(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance.from_attributes(
+                np.zeros((2, 3)), np.zeros((4, 2)), np.ones(2), np.ones(4)
+            )
+
+    def test_from_attributes_computes_eq1(self):
+        events = np.array([[0.0, 0.0]])
+        users = np.array([[0.0, 0.0], [1.0, 1.0]])
+        instance = Instance.from_attributes(
+            events, users, np.array([1]), np.array([1, 1]), t=1.0
+        )
+        assert instance.sim(0, 0) == pytest.approx(1.0)
+        # Distance sqrt(2) over max distance sqrt(2) -> similarity 0.
+        assert instance.sim(0, 1) == pytest.approx(0.0)
+
+
+class TestLazySimilarity:
+    def test_matrix_not_materialised_until_accessed(self):
+        instance = Instance.from_attributes(
+            np.random.default_rng(0).uniform(0, 1, (3, 2)),
+            np.random.default_rng(1).uniform(0, 1, (4, 2)),
+            np.ones(3),
+            np.ones(4),
+            t=1.0,
+        )
+        assert not instance.has_matrix
+        pointwise = instance.sim(1, 2)
+        row = instance.sim_row(1).copy()
+        col = instance.sim_col(2).copy()
+        assert not instance.has_matrix
+        full = instance.sims
+        assert instance.has_matrix
+        assert full[1, 2] == pytest.approx(pointwise)
+        np.testing.assert_allclose(full[1], row)
+        np.testing.assert_allclose(full[:, 2], col)
+
+    def test_event_and_user_dataclasses(self):
+        instance = Instance.from_attributes(
+            np.array([[1.0, 2.0]]), np.array([[3.0, 4.0]]),
+            np.array([5]), np.array([2]), t=10.0,
+        )
+        event = instance.event(0)
+        user = instance.user(0)
+        assert event.capacity == 5
+        assert event.attributes == (1.0, 2.0)
+        assert user.capacity == 2
+        assert len(instance.events()) == 1
+        assert len(instance.users()) == 1
+
+
+class TestArrangement:
+    def test_add_remove_roundtrip(self):
+        instance = matrix_instance(cv=[2, 2], cu=[2, 2])
+        arrangement = Arrangement(instance)
+        arrangement.add(0, 1)
+        assert (0, 1) in arrangement
+        assert arrangement.event_remaining(0) == 1
+        assert arrangement.user_remaining(1) == 1
+        arrangement.remove(0, 1)
+        assert (0, 1) not in arrangement
+        assert arrangement.event_remaining(0) == 2
+        assert len(arrangement) == 0
+
+    def test_remove_unmatched_raises(self):
+        arrangement = Arrangement(matrix_instance())
+        with pytest.raises(KeyError):
+            arrangement.remove(0, 0)
+
+    def test_can_add_checks_capacity(self):
+        instance = matrix_instance(cv=[1, 1], cu=[1, 1])
+        arrangement = Arrangement(instance)
+        arrangement.add(0, 0)
+        assert not arrangement.can_add(0, 1)  # event 0 full
+        assert not arrangement.can_add(1, 0)  # user 0 full
+        assert arrangement.can_add(1, 1)
+
+    def test_can_add_rejects_duplicate_pair(self):
+        instance = matrix_instance(cv=[2, 2], cu=[2, 2])
+        arrangement = Arrangement(instance)
+        arrangement.add(0, 0)
+        assert not arrangement.can_add(0, 0)
+
+    def test_can_add_checks_conflicts(self):
+        conflicts = ConflictGraph(2, [(0, 1)])
+        instance = matrix_instance(cv=[2, 2], cu=[2, 2], conflicts=conflicts)
+        arrangement = Arrangement(instance)
+        arrangement.add(0, 0)
+        assert not arrangement.can_add(1, 0)  # user 0 already attends 0
+        assert arrangement.can_add(1, 1)
+
+    def test_max_sum(self):
+        instance = matrix_instance(cv=[2, 2], cu=[2, 2])
+        arrangement = Arrangement(instance)
+        arrangement.add(0, 0)
+        arrangement.add(1, 0)
+        assert arrangement.max_sum() == pytest.approx(0.5 + 0.9)
+
+    def test_max_sum_lazy_instance(self):
+        instance = Instance.from_attributes(
+            np.array([[0.0], [1.0]]), np.array([[0.0], [0.5]]),
+            np.array([2, 2]), np.array([2, 2]), t=1.0,
+        )
+        arrangement = Arrangement(instance)
+        arrangement.add(0, 0)
+        arrangement.add(1, 1)
+        expected = instance.sim(0, 0) + instance.sim(1, 1)
+        assert not instance.has_matrix
+        assert arrangement.max_sum() == pytest.approx(expected)
+
+    def test_copy_is_independent(self):
+        instance = matrix_instance(cv=[2, 2], cu=[2, 2])
+        arrangement = Arrangement(instance)
+        arrangement.add(0, 0)
+        clone = arrangement.copy()
+        clone.add(1, 0)  # sim 0.9
+        assert (1, 0) not in arrangement
+        assert (0, 0) in clone
+        assert clone.max_sum() > arrangement.max_sum()
+
+    def test_pairs_sorted(self):
+        instance = matrix_instance(cv=[2, 2], cu=[2, 2])
+        arrangement = Arrangement(instance)
+        arrangement.add(1, 1)
+        arrangement.add(0, 0)
+        assert arrangement.pairs() == [(0, 0), (1, 1)]
+
+    def test_repr_mentions_maxsum(self):
+        arrangement = Arrangement(matrix_instance())
+        assert "MaxSum" in repr(arrangement)

@@ -1,0 +1,102 @@
+"""Tests for the similarity functions (Eq. 1 and alternatives)."""
+
+import numpy as np
+import pytest
+
+from repro.core.similarity import (
+    cosine_similarity,
+    euclidean_similarity,
+    scaled_dot_similarity,
+    similarity_matrix,
+)
+
+
+class TestEuclideanSimilarity:
+    def test_identical_vectors_have_similarity_one(self):
+        attrs = np.array([[1.0, 2.0, 3.0]])
+        sims = euclidean_similarity(attrs, attrs, t=10.0)
+        assert sims[0, 0] == pytest.approx(1.0)
+
+    def test_extreme_corners_have_similarity_zero(self):
+        """Opposite corners of [0, T]^d are at the maximum distance."""
+        t = 5.0
+        d = 4
+        lo = np.zeros((1, d))
+        hi = np.full((1, d), t)
+        sims = euclidean_similarity(lo, hi, t=t)
+        assert sims[0, 0] == pytest.approx(0.0)
+
+    def test_matches_eq1_formula(self):
+        rng = np.random.default_rng(0)
+        t, d = 100.0, 6
+        events = rng.uniform(0, t, (3, d))
+        users = rng.uniform(0, t, (5, d))
+        sims = euclidean_similarity(events, users, t=t)
+        for i in range(3):
+            for j in range(5):
+                dist = np.linalg.norm(events[i] - users[j])
+                expected = 1 - dist / np.sqrt(d * t * t)
+                assert sims[i, j] == pytest.approx(expected)
+
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        sims = euclidean_similarity(
+            rng.uniform(0, 10, (20, 8)), rng.uniform(0, 10, (30, 8)), t=10.0
+        )
+        assert np.all(sims >= 0.0)
+        assert np.all(sims <= 1.0)
+
+    def test_rejects_nonpositive_t(self):
+        with pytest.raises(ValueError):
+            euclidean_similarity(np.zeros((1, 2)), np.zeros((1, 2)), t=0.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(0, 1, (4, 3))
+        b = rng.uniform(0, 1, (6, 3))
+        assert np.allclose(
+            euclidean_similarity(a, b, 1.0), euclidean_similarity(b, a, 1.0).T
+        )
+
+
+class TestCosineSimilarity:
+    def test_parallel_vectors(self):
+        a = np.array([[1.0, 1.0]])
+        b = np.array([[2.0, 2.0]])
+        assert cosine_similarity(a, b)[0, 0] == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        assert cosine_similarity(a, b)[0, 0] == pytest.approx(0.0)
+
+    def test_zero_vector_gets_zero(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 1.0]])
+        assert cosine_similarity(a, b)[0, 0] == 0.0
+
+
+class TestScaledDot:
+    def test_peak_is_one(self):
+        rng = np.random.default_rng(3)
+        sims = scaled_dot_similarity(rng.uniform(0, 1, (5, 4)), rng.uniform(0, 1, (7, 4)))
+        assert sims.max() == pytest.approx(1.0)
+        assert np.all(sims >= 0)
+
+    def test_all_zero_inputs(self):
+        sims = scaled_dot_similarity(np.zeros((2, 3)), np.zeros((4, 3)))
+        assert np.all(sims == 0)
+
+
+class TestDispatch:
+    def test_named_metrics(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(0, 1, (3, 2))
+        b = rng.uniform(0, 1, (4, 2))
+        for metric in ("euclidean", "cosine", "dot"):
+            sims = similarity_matrix(a, b, t=1.0, metric=metric)
+            assert sims.shape == (3, 4)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown similarity metric"):
+            similarity_matrix(np.zeros((1, 1)), np.zeros((1, 1)), 1.0, "manhattan")

@@ -1,0 +1,44 @@
+"""Tests for conflict-set generators."""
+
+import numpy as np
+
+from repro.datagen.conflictgen import random_conflicts, random_schedule_conflicts
+
+
+def test_random_conflicts_ratio():
+    graph = random_conflicts(10, 0.4, seed=0)
+    assert len(graph) == round(0.4 * 45)
+
+
+def test_random_conflicts_deterministic():
+    assert random_conflicts(8, 0.5, seed=3).pairs == random_conflicts(8, 0.5, seed=3).pairs
+
+
+def test_schedule_conflicts_consistency():
+    rng = np.random.default_rng(0)
+    graph, intervals, locations = random_schedule_conflicts(15, rng)
+    assert graph.n_events == 15
+    assert len(intervals) == 15
+    assert len(locations) == 15
+    # Every overlapping pair must conflict.
+    for i in range(15):
+        for j in range(i + 1, 15):
+            s_i, e_i = intervals[i]
+            s_j, e_j = intervals[j]
+            if s_i < e_j and s_j < e_i:
+                assert graph.are_conflicting(i, j)
+
+
+def test_schedule_intervals_fit_in_day():
+    rng = np.random.default_rng(1)
+    _, intervals, _ = random_schedule_conflicts(30, rng, day_hours=10.0)
+    for start, end in intervals:
+        assert 0 <= start < end <= 10.0
+
+
+def test_faster_travel_never_adds_conflicts():
+    rng_a = np.random.default_rng(2)
+    rng_b = np.random.default_rng(2)
+    slow, _, _ = random_schedule_conflicts(12, rng_a, travel_speed=5.0)
+    fast, _, _ = random_schedule_conflicts(12, rng_b, travel_speed=500.0)
+    assert fast.pairs <= slow.pairs

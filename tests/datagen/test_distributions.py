@@ -1,0 +1,72 @@
+"""Tests for the Table III samplers."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.distributions import sample_attributes, sample_capacities
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestAttributes:
+    @pytest.mark.parametrize("dist", ["uniform", "normal", "zipf"])
+    def test_shape_and_range(self, rng, dist):
+        t = 10_000.0
+        attrs = sample_attributes(rng, 200, 20, dist, t)
+        assert attrs.shape == (200, 20)
+        assert np.all(attrs >= 0)
+        assert np.all(attrs <= t)
+
+    def test_uniform_spans_range(self, rng):
+        attrs = sample_attributes(rng, 2000, 2, "uniform", 100.0)
+        assert attrs.min() < 10
+        assert attrs.max() > 90
+
+    def test_normal_is_bimodal(self, rng):
+        """The two modes (T/4 and 3T/4) should both be populated."""
+        t = 1000.0
+        attrs = sample_attributes(rng, 4000, 1, "normal", t)
+        low = np.sum(attrs < t / 2)
+        high = np.sum(attrs >= t / 2)
+        assert low > 1000
+        assert high > 1000
+
+    def test_zipf_is_skewed_to_zero(self, rng):
+        t = 1000.0
+        attrs = sample_attributes(rng, 5000, 1, "zipf", t)
+        assert np.median(attrs) < t / 4
+        assert attrs.max() > t / 2  # long tail exists
+
+    def test_unknown_distribution(self, rng):
+        with pytest.raises(ValueError, match="unknown attribute"):
+            sample_attributes(rng, 1, 1, "cauchy")
+
+
+class TestCapacities:
+    def test_uniform_bounds_inclusive(self, rng):
+        caps = sample_capacities(rng, 5000, "uniform", low=1, high=4)
+        assert caps.min() == 1
+        assert caps.max() == 4
+        assert caps.dtype == np.int64
+
+    def test_uniform_invalid_bounds(self, rng):
+        with pytest.raises(ValueError):
+            sample_capacities(rng, 10, "uniform", low=0, high=4)
+        with pytest.raises(ValueError):
+            sample_capacities(rng, 10, "uniform", low=5, high=4)
+
+    def test_normal_clipped_at_one(self, rng):
+        caps = sample_capacities(rng, 5000, "normal", mu=2.0, sigma=1.0)
+        assert caps.min() >= 1
+        assert abs(caps.mean() - 2.0) < 0.5
+
+    def test_normal_integer_valued(self, rng):
+        caps = sample_capacities(rng, 100, "normal", mu=25.0, sigma=12.5)
+        assert caps.dtype == np.int64
+
+    def test_unknown_distribution(self, rng):
+        with pytest.raises(ValueError, match="unknown capacity"):
+            sample_capacities(rng, 10, "poisson")

@@ -1,0 +1,78 @@
+"""Tests for synthetic instance generation."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import SyntheticConfig, generate_instance
+
+
+def test_default_config_matches_table_iii():
+    config = SyntheticConfig()
+    assert config.n_events == 100
+    assert config.n_users == 1000
+    assert config.d == 20
+    assert config.t == 10_000.0
+    assert (config.cv_low, config.cv_high) == (1, 50)
+    assert (config.cu_low, config.cu_high) == (1, 4)
+    assert config.conflict_ratio == 0.25
+
+
+def test_generated_instance_shape():
+    config = SyntheticConfig(n_events=12, n_users=40, d=5, conflict_ratio=0.5)
+    instance = generate_instance(config, seed=1)
+    assert instance.n_events == 12
+    assert instance.n_users == 40
+    assert instance.event_attributes.shape == (12, 5)
+    assert len(instance.conflicts) == round(0.5 * 12 * 11 / 2)
+    assert instance.event_capacities.min() >= 1
+    assert instance.user_capacities.max() <= 4
+
+
+def test_deterministic_per_seed():
+    config = SyntheticConfig(n_events=5, n_users=10)
+    a = generate_instance(config, seed=9)
+    b = generate_instance(config, seed=9)
+    np.testing.assert_array_equal(a.event_attributes, b.event_attributes)
+    np.testing.assert_array_equal(a.user_capacities, b.user_capacities)
+    assert a.conflicts.pairs == b.conflicts.pairs
+
+
+def test_different_seeds_differ():
+    config = SyntheticConfig(n_events=5, n_users=10)
+    a = generate_instance(config, seed=1)
+    b = generate_instance(config, seed=2)
+    assert not np.array_equal(a.event_attributes, b.event_attributes)
+
+
+def test_with_override():
+    config = SyntheticConfig().with_(n_events=7, conflict_ratio=1.0)
+    assert config.n_events == 7
+    assert config.conflict_ratio == 1.0
+    assert config.n_users == 1000  # untouched fields preserved
+
+
+def test_normal_capacity_distributions():
+    config = SyntheticConfig(
+        n_events=50,
+        n_users=50,
+        cv_distribution="normal",
+        cu_distribution="normal",
+    )
+    instance = generate_instance(config, seed=0)
+    assert instance.event_capacities.min() >= 1
+    assert instance.user_capacities.min() >= 1
+
+
+def test_zipf_attributes():
+    config = SyntheticConfig(n_events=30, n_users=30, attr_distribution="zipf")
+    instance = generate_instance(config, seed=0)
+    assert np.all(instance.event_attributes >= 0)
+    assert np.all(instance.event_attributes <= config.t)
+
+
+def test_similarity_lazy_until_needed():
+    instance = generate_instance(SyntheticConfig(n_events=5, n_users=5), seed=0)
+    assert not instance.has_matrix
+    sims = instance.sims
+    assert sims.shape == (5, 5)
+    assert np.all(sims >= 0) and np.all(sims <= 1)

@@ -1,0 +1,96 @@
+"""Tests for the simulated Meetup city datasets (Table II)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.meetup import (
+    CITIES,
+    MERGED_TAGS,
+    MeetupCityConfig,
+    meetup_city,
+)
+
+
+def test_twenty_merged_tags():
+    assert len(MERGED_TAGS) == 20
+    assert len(set(MERGED_TAGS)) == 20
+
+
+def test_table_ii_cardinalities():
+    assert CITIES["vancouver"] == (225, 2012)
+    assert CITIES["auckland"] == (37, 569)
+    assert CITIES["singapore"] == (87, 1500)
+
+
+@pytest.mark.parametrize("city", sorted(CITIES))
+def test_city_instance_shape(city):
+    instance = meetup_city(MeetupCityConfig(city=city), seed=0)
+    n_events, n_users = CITIES[city]
+    assert instance.n_events == n_events
+    assert instance.n_users == n_users
+    assert instance.event_attributes.shape == (n_events, 20)
+    assert instance.t == 1.0
+
+
+def test_attributes_are_normalised_tag_counts():
+    instance = meetup_city(MeetupCityConfig(city="auckland"), seed=1)
+    for attrs in (instance.event_attributes, instance.user_attributes):
+        assert np.all(attrs >= 0)
+        sums = attrs.sum(axis=1)
+        # Every entity's attribute values are tag counts / total tags = 1.
+        np.testing.assert_allclose(sums, 1.0, atol=1e-12)
+
+
+def test_attribute_profiles_are_sparse_and_skewed():
+    instance = meetup_city(MeetupCityConfig(city="singapore"), seed=2)
+    nonzero_per_user = (instance.user_attributes > 0).sum(axis=1)
+    assert nonzero_per_user.mean() < 12  # handful of tags each
+    tag_mass = instance.user_attributes.sum(axis=0)
+    assert tag_mass[0] > tag_mass[-1]  # popular tags dominate
+
+
+def test_capacity_distributions():
+    uniform = meetup_city(
+        MeetupCityConfig(city="auckland", capacity_distribution="uniform"), 0
+    )
+    assert uniform.event_capacities.max() <= 50
+    assert uniform.user_capacities.max() <= 4
+    normal = meetup_city(
+        MeetupCityConfig(city="auckland", capacity_distribution="normal"), 0
+    )
+    assert normal.event_capacities.min() >= 1
+    assert normal.user_capacities.min() >= 1
+
+
+def test_conflict_ratio():
+    instance = meetup_city(
+        MeetupCityConfig(city="auckland", conflict_ratio=0.5), seed=0
+    )
+    n = instance.n_events
+    assert len(instance.conflicts) == round(0.5 * n * (n - 1) / 2)
+
+
+def test_unknown_city():
+    with pytest.raises(ValueError, match="unknown city"):
+        meetup_city(MeetupCityConfig(city="atlantis"))
+
+
+def test_unknown_capacity_distribution():
+    with pytest.raises(ValueError, match="capacity distribution"):
+        meetup_city(MeetupCityConfig(city="auckland", capacity_distribution="zipf"))
+
+
+def test_deterministic_per_seed():
+    a = meetup_city(MeetupCityConfig(city="auckland"), seed=5)
+    b = meetup_city(MeetupCityConfig(city="auckland"), seed=5)
+    np.testing.assert_array_equal(a.user_attributes, b.user_attributes)
+
+
+def test_solvable_end_to_end():
+    from repro.core.algorithms import GreedyGEACC
+    from repro.core.validation import validate_arrangement
+
+    instance = meetup_city(MeetupCityConfig(city="auckland"), seed=0)
+    arrangement = GreedyGEACC().solve(instance)
+    validate_arrangement(arrangement)
+    assert arrangement.max_sum() > 0

@@ -1,0 +1,73 @@
+"""Tests for the plain-text chart renderer."""
+
+import pytest
+
+from repro.experiments.charts import render_bars, render_sweep_charts
+from repro.experiments.runner import Record, Sweep
+
+
+@pytest.fixture
+def sweep():
+    sweep = Sweep("demo sweep", "|V|")
+    sweep.records.extend(
+        [
+            Record(10, "greedy", 100.0, 0.01, 1.0, 50.0),
+            Record(10, "random-v", 50.0, 0.001, 0.5, 40.0),
+            Record(20, "greedy", 200.0, 0.02, 2.0, 90.0),
+            Record(20, "random-v", 80.0, 0.002, 0.6, 70.0),
+        ]
+    )
+    return sweep
+
+
+def test_bars_scale_to_peak(sweep):
+    chart = render_bars(sweep, "max_sum", width=10)
+    lines = chart.splitlines()
+    # The peak value (200) gets a full-width bar.
+    peak_line = next(line for line in lines if "200" in line)
+    assert "#" * 10 in peak_line
+    # Half the peak gets half the bar.
+    half_line = next(line for line in lines if "100" in line)
+    assert "#" * 5 in half_line
+    assert "#" * 6 not in half_line
+
+
+def test_all_cells_rendered(sweep):
+    chart = render_bars(sweep, "seconds")
+    assert chart.count("greedy") == 2
+    assert chart.count("random-v") == 2
+    assert "10" in chart and "20" in chart
+
+
+def test_zero_values_render_empty_bar():
+    sweep = Sweep("zeros", "x")
+    sweep.records.append(Record("a", "greedy", 0.0, 0.0, 0.0, 0.0))
+    chart = render_bars(sweep, "max_sum", width=8)
+    assert "#" not in chart
+
+
+def test_invalid_width(sweep):
+    with pytest.raises(ValueError):
+        render_bars(sweep, "max_sum", width=0)
+
+
+def test_render_sweep_charts_panels(sweep):
+    text = render_sweep_charts(sweep)
+    assert "max_sum" in text
+    assert "seconds" in text
+    assert "peak_mb" in text
+
+
+def test_render_sweep_charts_skips_absent_memory():
+    sweep = Sweep("no-mem", "x")
+    sweep.records.append(Record("a", "greedy", 1.0, 0.1, 0.0, 1.0))
+    text = render_sweep_charts(sweep)
+    assert "peak_mb" not in text
+
+
+def test_cli_chart_flag(capsys):
+    from repro.cli import main
+
+    assert main(["experiment", "fig3-conflicts", "--scale", "smoke", "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "|" in out and "#" in out

@@ -1,0 +1,34 @@
+"""Tests for the one-shot reproduction report."""
+
+from repro.experiments.report import ReproductionReport, ReportSection, run_full_report
+
+
+def test_subset_report_structure():
+    report = run_full_report("smoke", figures=["fig3-dimension"])
+    titles = [section.title for section in report.sections]
+    assert titles[:3] == [
+        "Table I (worked example)",
+        "Table II (real datasets)",
+        "Table III (synthetic configuration)",
+    ]
+    assert titles[3] == "fig3-dimension"
+    assert len(titles) == 4
+    assert report.total_seconds > 0
+
+
+def test_table1_section_reports_ok():
+    report = run_full_report("smoke", figures=[])
+    table1 = report.sections[0]
+    assert table1.body.count("OK") == 3
+    assert "MISMATCH" not in table1.body
+
+
+def test_markdown_rendering():
+    report = ReproductionReport(scale_name="smoke")
+    report.sections.append(ReportSection("demo", "body text", 1.5))
+    report.total_seconds = 2.0
+    text = report.to_markdown()
+    assert "# GEACC reproduction report" in text
+    assert "## demo" in text
+    assert "body text" in text
+    assert "`smoke`" in text

@@ -1,0 +1,35 @@
+"""Tests for the Table II / Table III regenerators."""
+
+from repro.experiments.tables import (
+    capacity_statistics,
+    table2_real_datasets,
+    table3_synthetic_config,
+)
+
+
+def test_table2_contains_all_cities_and_cardinalities():
+    text = table2_real_datasets(seed=0)
+    for token in ("vancouver", "auckland", "singapore",
+                  "225", "2012", "37", "569", "87", "1500"):
+        assert token in text
+
+
+def test_table3_marks_defaults():
+    text = table3_synthetic_config()
+    assert "*100*" in text      # default |V|
+    assert "*1000*" in text     # default |U|
+    assert "*20*" in text       # default d
+    assert "*0.25*" in text     # default conflict ratio
+    assert "*50*" in text       # default max c_v
+    assert "*4*" in text        # default max c_u
+    assert "100000" in text.replace(",", "").replace("_", "")
+
+
+def test_capacity_statistics_close_to_spec():
+    text = capacity_statistics(seed=1)
+    lines = [line for line in text.splitlines() if "Uniform[1,50]" in line]
+    assert lines
+    # Generated mean for U[1,50] should be near 25.5.
+    cells = lines[0].split()
+    generated = float(cells[-2])
+    assert abs(generated - 25.5) < 1.0

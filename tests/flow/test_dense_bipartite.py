@@ -1,0 +1,111 @@
+"""Tests for the dense tripartite SSP solver.
+
+The critical property: it computes exactly the same minimum-cost flows as
+the generic heap-based SSPA on the same GEACC-shaped network.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FlowError
+from repro.flow.dense_bipartite import DenseBipartiteMinCostFlow
+from repro.flow.network import FlowNetwork
+from repro.flow.sspa import SuccessiveShortestPaths
+
+
+def generic_reference(costs, cv, cu, amount=None):
+    """Solve the same network with the generic SSPA."""
+    n_events, n_users = costs.shape
+    network = FlowNetwork()
+    source = network.add_node()
+    events = network.add_nodes(n_events)
+    users = network.add_nodes(n_users)
+    sink = network.add_node()
+    for v in range(n_events):
+        network.add_arc(source, events[v], int(cv[v]))
+        for u in range(n_users):
+            network.add_arc(events[v], users[u], 1, float(costs[v, u]))
+    for u in range(n_users):
+        network.add_arc(users[u], sink, int(cu[u]))
+    solver = SuccessiveShortestPaths(network, source, sink)
+    return solver.run(amount=amount)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_matches_generic_sspa_at_max_flow(seed):
+    rng = np.random.default_rng(seed)
+    costs = rng.random((4, 6))
+    cv = rng.integers(1, 4, size=4)
+    cu = rng.integers(1, 3, size=6)
+    dense = DenseBipartiteMinCostFlow(costs, cv, cu)
+    dense.run()
+    generic_flow, generic_cost = generic_reference(costs, cv, cu)
+    assert dense.total_flow == generic_flow
+    assert dense.total_cost == pytest.approx(generic_cost, abs=1e-9)
+
+
+@pytest.mark.parametrize("amount", [1, 3, 5])
+def test_matches_generic_at_fixed_amount(amount):
+    rng = np.random.default_rng(77)
+    costs = rng.random((3, 5))
+    cv = np.array([2, 2, 2])
+    cu = np.array([1, 2, 1, 2, 1])
+    dense = DenseBipartiteMinCostFlow(costs, cv, cu)
+    dense.run(amount=amount)
+    _, generic_cost = generic_reference(costs, cv, cu, amount=amount)
+    assert dense.total_flow == amount
+    assert dense.total_cost == pytest.approx(generic_cost, abs=1e-9)
+
+
+def test_augment_costs_non_decreasing():
+    rng = np.random.default_rng(5)
+    costs = rng.random((4, 8))
+    dense = DenseBipartiteMinCostFlow(
+        costs, rng.integers(1, 4, 4), rng.integers(1, 3, 8)
+    )
+    previous = -1.0
+    while True:
+        cost = dense.augment()
+        if cost is None:
+            break
+        assert cost >= previous - 1e-9
+        previous = cost
+
+
+def test_stop_cost():
+    costs = np.array([[0.2, 0.9], [0.95, 0.99]])
+    dense = DenseBipartiteMinCostFlow(costs, np.ones(2, int), np.ones(2, int))
+    routed = dense.run(stop_cost=0.9)
+    assert routed == 1  # only the 0.2 path is cheaper than 0.9
+    assert dense.total_cost == pytest.approx(0.2)
+
+
+def test_flow_respects_capacities():
+    rng = np.random.default_rng(6)
+    costs = rng.random((5, 7))
+    cv = rng.integers(1, 4, 5)
+    cu = rng.integers(1, 3, 7)
+    dense = DenseBipartiteMinCostFlow(costs, cv, cu)
+    dense.run()
+    assert np.all(dense.flow.sum(axis=1) <= cv)
+    assert np.all(dense.flow.sum(axis=0) <= cu)
+    assert dense.total_flow == dense.flow.sum()
+    assert dense.total_flow == min(cv.sum(), cu.sum())
+
+
+def test_exhausted_flag():
+    dense = DenseBipartiteMinCostFlow(
+        np.array([[0.5]]), np.array([1]), np.array([1])
+    )
+    assert dense.augment() is not None
+    assert dense.augment() is None
+    assert dense.exhausted
+
+
+def test_input_validation():
+    with pytest.raises(FlowError):
+        DenseBipartiteMinCostFlow(np.zeros(3), np.ones(3), np.ones(1))
+    with pytest.raises(FlowError):
+        DenseBipartiteMinCostFlow(-np.ones((2, 2)), np.ones(2), np.ones(2))
+    with pytest.raises(FlowError):
+        DenseBipartiteMinCostFlow(np.ones((2, 2)), np.ones(3), np.ones(2))

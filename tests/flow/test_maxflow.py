@@ -1,0 +1,73 @@
+"""Tests for Dinic's max-flow, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.flow.maxflow import max_flow
+from repro.flow.network import FlowNetwork
+
+
+def test_simple_path():
+    network = FlowNetwork()
+    network.add_nodes(3)
+    network.add_arc(0, 1, cap=5)
+    network.add_arc(1, 2, cap=3)
+    assert max_flow(network, 0, 2) == 3
+
+
+def test_parallel_paths():
+    network = FlowNetwork()
+    network.add_nodes(4)
+    network.add_arc(0, 1, cap=2)
+    network.add_arc(0, 2, cap=3)
+    network.add_arc(1, 3, cap=2)
+    network.add_arc(2, 3, cap=1)
+    assert max_flow(network, 0, 3) == 3
+
+
+def test_needs_residual_rerouting():
+    """The classic case where a greedy path must be partially undone."""
+    network = FlowNetwork()
+    network.add_nodes(4)
+    network.add_arc(0, 1, cap=1)
+    network.add_arc(0, 2, cap=1)
+    network.add_arc(1, 2, cap=1)
+    network.add_arc(1, 3, cap=1)
+    network.add_arc(2, 3, cap=1)
+    assert max_flow(network, 0, 3) == 2
+
+
+def test_disconnected_sink():
+    network = FlowNetwork()
+    network.add_nodes(3)
+    network.add_arc(0, 1, cap=4)
+    assert max_flow(network, 0, 2) == 0
+
+
+def test_source_equals_sink():
+    network = FlowNetwork()
+    network.add_nodes(1)
+    assert max_flow(network, 0, 0) == 0
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_matches_networkx(seed):
+    rng = np.random.default_rng(seed + 100)
+    n, arcs = 8, 24
+    network = FlowNetwork()
+    network.add_nodes(n)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    for _ in range(arcs):
+        tail, head = (int(x) for x in rng.integers(0, n, size=2))
+        if tail == head:
+            continue
+        cap = int(rng.integers(1, 7))
+        network.add_arc(tail, head, cap)
+        if graph.has_edge(tail, head):
+            graph[tail][head]["capacity"] += cap
+        else:
+            graph.add_edge(tail, head, capacity=cap)
+    expected = nx.maximum_flow_value(graph, 0, n - 1)
+    assert max_flow(network, 0, n - 1) == expected

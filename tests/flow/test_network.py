@@ -1,0 +1,65 @@
+"""Tests for the residual flow network."""
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.flow.network import FlowNetwork
+
+
+@pytest.fixture
+def triangle():
+    network = FlowNetwork()
+    network.add_nodes(3)
+    network.add_arc(0, 1, cap=2, cost=1.0)   # arc 0
+    network.add_arc(1, 2, cap=3, cost=0.5)   # arc 2
+    return network
+
+
+def test_paired_arc_layout(triangle):
+    # Forward arcs sit at even indices; twins at odd.
+    assert triangle.arcs[0].head == 1
+    assert triangle.arcs[1].head == 0
+    assert triangle.arcs[1].cap == 0
+    assert triangle.arcs[1].cost == -1.0
+
+
+def test_push_updates_both_directions(triangle):
+    triangle.push(0, 2)
+    assert triangle.arcs[0].flow == 2
+    assert triangle.arcs[0].residual == 0
+    assert triangle.arcs[1].flow == -2
+    assert triangle.arcs[1].residual == 2  # residual arc became usable
+
+
+def test_push_beyond_residual_raises(triangle):
+    with pytest.raises(FlowError, match="exceeds residual"):
+        triangle.push(0, 3)
+
+
+def test_total_cost_counts_forward_arcs(triangle):
+    triangle.push(0, 2)
+    triangle.push(2, 1)
+    assert triangle.total_cost() == pytest.approx(2 * 1.0 + 1 * 0.5)
+
+
+def test_reset_flow(triangle):
+    triangle.push(0, 1)
+    triangle.reset_flow()
+    assert triangle.arcs[0].flow == 0
+    assert triangle.total_cost() == 0.0
+
+
+def test_invalid_nodes_and_caps():
+    network = FlowNetwork()
+    network.add_nodes(2)
+    with pytest.raises(FlowError):
+        network.add_arc(0, 5, cap=1)
+    with pytest.raises(FlowError):
+        network.add_arc(0, 1, cap=-1)
+    with pytest.raises(FlowError):
+        network.add_nodes(-2)
+
+
+def test_flow_on(triangle):
+    triangle.push(0, 1)
+    assert triangle.flow_on(0) == 1

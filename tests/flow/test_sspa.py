@@ -1,0 +1,179 @@
+"""Tests for the successive-shortest-paths min-cost-flow solver.
+
+Cross-checked against networkx's ``max_flow_min_cost`` on random graphs
+(costs scaled to integers for networkx, which requires them).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleFlowError
+from repro.flow.network import FlowNetwork
+from repro.flow.sspa import SuccessiveShortestPaths, min_cost_flow
+
+
+def build_diamond():
+    """s=0 -> {1, 2} -> t=3 with distinct costs."""
+    network = FlowNetwork()
+    network.add_nodes(4)
+    network.add_arc(0, 1, cap=2, cost=1.0)
+    network.add_arc(0, 2, cap=2, cost=2.0)
+    network.add_arc(1, 3, cap=2, cost=0.0)
+    network.add_arc(2, 3, cap=2, cost=0.0)
+    return network
+
+
+def test_routes_cheapest_first():
+    network = build_diamond()
+    solver = SuccessiveShortestPaths(network, 0, 3)
+    units, cost = solver.augment()
+    assert units == 2  # bottleneck of the cheap path
+    assert cost == pytest.approx(1.0)
+
+
+def test_min_cost_flow_amount():
+    network = build_diamond()
+    flow, cost = min_cost_flow(network, 0, 3, amount=3)
+    assert flow == 3
+    assert cost == pytest.approx(2 * 1.0 + 1 * 2.0)
+
+
+def test_max_flow_when_amount_none():
+    network = build_diamond()
+    flow, cost = min_cost_flow(network, 0, 3)
+    assert flow == 4
+    assert cost == pytest.approx(2 + 4)
+
+
+def test_infeasible_amount_raises():
+    network = build_diamond()
+    with pytest.raises(InfeasibleFlowError):
+        min_cost_flow(network, 0, 3, amount=5)
+
+
+def test_stop_when_predicate():
+    network = build_diamond()
+    solver = SuccessiveShortestPaths(network, 0, 3)
+    flow, cost = solver.run(stop_when=lambda c: c >= 2.0)
+    assert flow == 2  # stops before the cost-2 path
+    assert cost == pytest.approx(2.0)
+
+
+def test_next_path_cost_monotone_nondecreasing():
+    rng = np.random.default_rng(0)
+    network, s, t = _random_network(rng, n=8, arcs=20)
+    solver = SuccessiveShortestPaths(network, s, t)
+    previous = -1.0
+    while True:
+        cost = solver.next_path_cost()
+        if cost is None:
+            break
+        assert cost >= previous - 1e-9
+        previous = cost
+        solver.augment()
+
+
+def test_negative_costs_with_bellman_ford_init():
+    network = FlowNetwork()
+    network.add_nodes(3)
+    network.add_arc(0, 1, cap=1, cost=-2.0)
+    network.add_arc(1, 2, cap=1, cost=1.0)
+    network.add_arc(0, 2, cap=1, cost=0.5)
+    flow, cost = min_cost_flow(network, 0, 2)
+    assert flow == 2
+    assert cost == pytest.approx(-1.0 + 0.5)
+
+
+def _random_network(rng, n, arcs):
+    network = FlowNetwork()
+    network.add_nodes(n)
+    for _ in range(arcs):
+        tail, head = rng.integers(0, n, size=2)
+        if tail == head:
+            continue
+        network.add_arc(int(tail), int(head), int(rng.integers(1, 5)),
+                        float(rng.integers(0, 10)))
+    return network, 0, n - 1
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_matches_networkx_on_random_graphs(seed):
+    """Same max flow value and same min cost as networkx."""
+    rng = np.random.default_rng(seed)
+    n, arcs = 7, 18
+    network = FlowNetwork()
+    network.add_nodes(n)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    for _ in range(arcs):
+        tail, head = (int(x) for x in rng.integers(0, n, size=2))
+        if tail == head or graph.has_edge(tail, head):
+            continue  # networkx max_flow_min_cost needs simple digraphs
+        cap = int(rng.integers(1, 6))
+        cost = int(rng.integers(0, 10))
+        network.add_arc(tail, head, cap, float(cost))
+        graph.add_edge(tail, head, capacity=cap, weight=cost)
+
+    flow_dict = nx.max_flow_min_cost(graph, 0, n - 1)
+    nx_flow_value = sum(flow_dict.get(0, {}).values()) - sum(
+        targets.get(0, 0) for targets in flow_dict.values()
+    )
+    nx_total_cost = nx.cost_of_flow(graph, flow_dict)
+
+    ours_flow, ours_cost = min_cost_flow(network, 0, n - 1)
+    assert ours_flow == nx_flow_value
+    assert ours_cost == pytest.approx(nx_total_cost, abs=1e-6)
+
+
+def test_zero_capacity_arcs_ignored():
+    network = FlowNetwork()
+    network.add_nodes(3)
+    network.add_arc(0, 1, cap=0, cost=0.0)
+    network.add_arc(1, 2, cap=5, cost=0.0)
+    flow, _ = min_cost_flow(network, 0, 2)
+    assert flow == 0
+
+
+def test_source_sink_direct_arc():
+    network = FlowNetwork()
+    network.add_nodes(2)
+    network.add_arc(0, 1, cap=3, cost=2.0)
+    flow, cost = min_cost_flow(network, 0, 1)
+    assert flow == 3
+    assert cost == pytest.approx(6.0)
+
+
+def test_residual_rerouting_lowers_cost():
+    """A later augmentation must push flow back over a used arc."""
+    network = FlowNetwork()
+    network.add_nodes(4)
+    network.add_arc(0, 1, cap=1, cost=1.0)
+    network.add_arc(0, 2, cap=1, cost=4.0)
+    network.add_arc(1, 2, cap=1, cost=-2.0)  # tempting detour
+    network.add_arc(1, 3, cap=1, cost=3.0)
+    network.add_arc(2, 3, cap=1, cost=1.0)
+    flow, cost = min_cost_flow(network, 0, 3)
+    assert flow == 2
+    # Optimal: 0-1-2-3 (1 - 2 + 1 = 0) and 0-2... cap(2,3)=1 so the
+    # second unit goes 0-1-3 after rerouting: total = 0 + (1 + 3) = 4?
+    # Let networkx arithmetic settle it instead of hand-waving:
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_edge(0, 1, capacity=1, weight=1)
+    graph.add_edge(0, 2, capacity=1, weight=4)
+    graph.add_edge(1, 2, capacity=1, weight=-2)
+    graph.add_edge(1, 3, capacity=1, weight=3)
+    graph.add_edge(2, 3, capacity=1, weight=1)
+    expected = nx.cost_of_flow(graph, nx.max_flow_min_cost(graph, 0, 3))
+    assert cost == pytest.approx(expected)
+
+
+def test_augment_after_exhaustion_returns_none():
+    network = build_diamond()
+    solver = SuccessiveShortestPaths(network, 0, 3)
+    solver.run()
+    assert solver.augment() is None
+    assert solver.next_path_cost() is None
+    assert solver.exhausted

@@ -1,0 +1,65 @@
+"""Tests for the candidate pair heap of Algorithm 2."""
+
+import pytest
+
+from repro.index.pairheap import CandidatePairHeap
+
+
+def test_pops_in_non_increasing_similarity():
+    heap = CandidatePairHeap()
+    heap.push(0, 0, 0.5)
+    heap.push(1, 0, 0.9)
+    heap.push(0, 1, 0.7)
+    sims = [heap.pop()[2] for _ in range(3)]
+    assert sims == [0.9, 0.7, 0.5]
+
+
+def test_no_pair_pushed_twice():
+    """The paper's invariant: NO pair enters H more than once, ever."""
+    heap = CandidatePairHeap()
+    assert heap.push(0, 0, 0.5)
+    assert not heap.push(0, 0, 0.9)  # duplicate while in heap
+    heap.pop()
+    assert not heap.push(0, 0, 0.5)  # duplicate after being popped
+    assert len(heap) == 0
+
+
+def test_membership_tracking():
+    heap = CandidatePairHeap()
+    heap.push(2, 3, 0.4)
+    assert heap.contains(2, 3)
+    assert heap.was_pushed(2, 3)
+    heap.pop()
+    assert not heap.contains(2, 3)
+    assert heap.was_pushed(2, 3)
+
+
+def test_tie_break_deterministic():
+    heap = CandidatePairHeap()
+    heap.push(1, 1, 0.5)
+    heap.push(0, 2, 0.5)
+    heap.push(0, 1, 0.5)
+    order = [heap.pop()[:2] for _ in range(3)]
+    assert order == [(0, 1), (0, 2), (1, 1)]
+
+
+def test_peek_sim():
+    heap = CandidatePairHeap()
+    assert heap.peek_sim() is None
+    heap.push(0, 0, 0.3)
+    heap.push(1, 1, 0.8)
+    assert heap.peek_sim() == pytest.approx(0.8)
+    assert len(heap) == 2  # peek does not pop
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        CandidatePairHeap().pop()
+
+
+def test_bool_and_len():
+    heap = CandidatePairHeap()
+    assert not heap
+    heap.push(0, 0, 0.1)
+    assert heap
+    assert len(heap) == 1

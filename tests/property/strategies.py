@@ -1,0 +1,87 @@
+"""Hypothesis strategies for GEACC instances and substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core.conflicts import ConflictGraph
+from repro.core.model import Instance
+
+
+@st.composite
+def tiny_instances(
+    draw,
+    max_events: int = 4,
+    max_users: int = 6,
+    max_cv: int = 3,
+    max_cu: int = 3,
+):
+    """Small explicit-matrix instances where exact search is feasible.
+
+    Similarities are drawn on a coarse grid (multiples of 0.05, with an
+    explicit chance of exact 0) so the ``sim > 0`` constraint and tie
+    handling both get exercised.
+    """
+    n_events = draw(st.integers(1, max_events))
+    n_users = draw(st.integers(1, max_users))
+    cells = n_events * n_users
+    values = draw(
+        st.lists(
+            st.one_of(st.just(0), st.integers(1, 20)),
+            min_size=cells,
+            max_size=cells,
+        )
+    )
+    sims = np.array(values, dtype=float).reshape(n_events, n_users) * 0.05
+    cv = np.array(
+        draw(st.lists(st.integers(1, max_cv), min_size=n_events, max_size=n_events))
+    )
+    cu = np.array(
+        draw(st.lists(st.integers(1, max_cu), min_size=n_users, max_size=n_users))
+    )
+    all_pairs = [
+        (i, j) for i in range(n_events) for j in range(i + 1, n_events)
+    ]
+    chosen = draw(
+        st.lists(st.sampled_from(all_pairs), unique=True, max_size=len(all_pairs))
+        if all_pairs
+        else st.just([])
+    )
+    conflicts = ConflictGraph(n_events, chosen)
+    return Instance.from_matrix(sims, cv, cu, conflicts)
+
+
+@st.composite
+def attribute_instances(draw, max_events: int = 5, max_users: int = 8, d: int = 3):
+    """Attribute-backed instances (Eq. 1 similarity), small."""
+    n_events = draw(st.integers(1, max_events))
+    n_users = draw(st.integers(1, max_users))
+    seed = draw(st.integers(0, 2**16))
+    ratio = draw(st.sampled_from([0.0, 0.25, 0.5, 1.0]))
+    rng = np.random.default_rng(seed)
+    conflicts = ConflictGraph.random(n_events, ratio, rng)
+    return Instance.from_attributes(
+        rng.uniform(0, 10, (n_events, d)),
+        rng.uniform(0, 10, (n_users, d)),
+        rng.integers(1, 4, n_events),
+        rng.integers(1, 3, n_users),
+        conflicts,
+        t=10.0,
+    )
+
+
+@st.composite
+def point_sets(draw, max_points: int = 40, max_dim: int = 4):
+    """Random point arrays for index tests, duplicates encouraged."""
+    n = draw(st.integers(1, max_points))
+    d = draw(st.integers(1, max_dim))
+    seed = draw(st.integers(0, 2**16))
+    duplicate_rate = draw(st.sampled_from([0.0, 0.5]))
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(-5, 5, (n, d))
+    if duplicate_rate and n > 1:
+        dup_mask = rng.random(n) < duplicate_rate
+        points[dup_mask] = points[0]
+    query = rng.uniform(-5, 5, d)
+    return points, query

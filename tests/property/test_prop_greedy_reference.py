@@ -1,0 +1,83 @@
+"""Greedy-GEACC vs a naive reference implementation.
+
+Algorithm 2's lemmas establish that the heap-of-frontiers machinery pops
+candidate pairs in globally non-increasing similarity order and adds each
+one exactly when it is feasible at pop time. Because feasibility only
+ever *decreases* (capacities shrink, conflict sets grow), that is
+behaviourally identical to the obvious quadratic spec: sort all |V| x |U|
+pairs by (-sim, event, user) and add each feasible pair in order.
+
+This property pins the sophisticated implementation to the simple spec --
+pair for pair, not just in MaxSum -- on arbitrary instances, including
+similarity ties and zero similarities.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.algorithms import GreedyGEACC
+from repro.core.model import Arrangement, Instance
+from tests.property.strategies import attribute_instances, tiny_instances
+
+
+def naive_global_greedy(instance: Instance) -> Arrangement:
+    """The quadratic reference: all pairs, globally sorted, one pass."""
+    arrangement = Arrangement(instance)
+    sims = instance.sims
+    pairs = [
+        (v, u)
+        for v in range(instance.n_events)
+        for u in range(instance.n_users)
+        if sims[v, u] > 0
+    ]
+    pairs.sort(key=lambda pair: (-sims[pair[0], pair[1]], pair[0], pair[1]))
+    for v, u in pairs:
+        if arrangement.can_add(v, u):
+            arrangement.add(v, u)
+    return arrangement
+
+
+@settings(max_examples=50, deadline=None)
+@given(instance=tiny_instances())
+def test_greedy_equals_reference_on_matrix_instances(instance):
+    fast = GreedyGEACC().solve(instance)
+    reference = naive_global_greedy(instance)
+    assert fast.pairs() == reference.pairs()
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=attribute_instances())
+def test_greedy_equals_reference_on_attribute_instances(instance):
+    fast = GreedyGEACC().solve(instance)
+    reference = naive_global_greedy(instance)
+    assert fast.pairs() == reference.pairs()
+
+
+@settings(max_examples=15, deadline=None)
+@given(instance=attribute_instances())
+def test_index_backed_greedy_matches_reference_value(instance):
+    """Index streams may order exact ties differently, so pin MaxSum
+    (tie permutations yield equal-value matchings) rather than pairs."""
+    reference = naive_global_greedy(instance).max_sum()
+    for kind in ("chunked", "kdtree"):
+        fresh = Instance.from_attributes(
+            instance.event_attributes,
+            instance.user_attributes,
+            instance.event_capacities,
+            instance.user_capacities,
+            instance.conflicts,
+            t=instance.t,
+        )
+        result = GreedyGEACC(index_kind=kind).solve(fresh).max_sum()
+        assert abs(result - reference) < 1e-9
+
+
+def test_reference_matches_on_dense_ties():
+    """All-equal similarities: pure tie-break territory."""
+    sims = np.full((4, 5), 0.5)
+    instance = Instance.from_matrix(
+        sims, np.full(4, 2), np.full(5, 2)
+    )
+    fast = GreedyGEACC().solve(instance)
+    reference = naive_global_greedy(instance)
+    assert fast.pairs() == reference.pairs()

@@ -1,0 +1,57 @@
+"""Property-based round-trip tests for persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.algorithms import GreedyGEACC
+from repro.io import (
+    load_arrangement_json,
+    load_instance_json,
+    load_instance_npz,
+    save_arrangement_json,
+    save_instance_json,
+    save_instance_npz,
+)
+from tests.property.strategies import attribute_instances, tiny_instances
+
+
+@settings(max_examples=20, deadline=None)
+@given(instance=tiny_instances())
+def test_json_roundtrip_matrix_instances(instance, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "instance.json"
+    save_instance_json(instance, path)
+    loaded = load_instance_json(path)
+    np.testing.assert_allclose(loaded.sims, instance.sims, atol=1e-12)
+    np.testing.assert_array_equal(
+        loaded.event_capacities, instance.event_capacities
+    )
+    np.testing.assert_array_equal(loaded.user_capacities, instance.user_capacities)
+    assert loaded.conflicts.pairs == instance.conflicts.pairs
+
+
+@settings(max_examples=15, deadline=None)
+@given(instance=attribute_instances())
+def test_npz_roundtrip_attribute_instances(instance, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "instance.npz"
+    save_instance_npz(instance, path)
+    loaded = load_instance_npz(path)
+    np.testing.assert_allclose(
+        loaded.event_attributes, instance.event_attributes
+    )
+    np.testing.assert_allclose(loaded.sims, instance.sims, atol=1e-12)
+    assert loaded.t == instance.t
+
+
+@settings(max_examples=15, deadline=None)
+@given(instance=tiny_instances())
+def test_solver_output_survives_roundtrip(instance, tmp_path_factory):
+    """Solve, persist, reload: identical pairs and MaxSum."""
+    base = tmp_path_factory.mktemp("io")
+    arrangement = GreedyGEACC().solve(instance)
+    save_instance_json(instance, base / "instance.json")
+    save_arrangement_json(arrangement, base / "arrangement.json")
+    loaded_instance = load_instance_json(base / "instance.json")
+    loaded = load_arrangement_json(base / "arrangement.json", loaded_instance)
+    assert loaded.pairs() == arrangement.pairs()
+    assert loaded.max_sum() == pytest.approx(arrangement.max_sum())

@@ -1,0 +1,103 @@
+"""Property-based structural tests for the scenario generators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithms import GreedyGEACC
+from repro.core.validation import validate_arrangement
+from repro.datasets.scenarios import (
+    conference,
+    course_allocation,
+    festival,
+    volunteer_shifts,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_slots=st.integers(1, 4),
+    per_slot=st.integers(1, 3),
+    attendees=st.integers(1, 40),
+    seed=st.integers(0, 100),
+)
+def test_conference_structure(n_slots, per_slot, attendees, seed):
+    scenario = conference(n_slots, per_slot, attendees, seed=seed)
+    instance = scenario.instance
+    assert instance.n_events == n_slots * per_slot
+    # Conflict count: complete graph within each slot.
+    expected = n_slots * per_slot * (per_slot - 1) // 2
+    assert len(instance.conflicts) == expected
+    arrangement = GreedyGEACC().solve(instance)
+    validate_arrangement(arrangement)
+    # One session per slot per attendee.
+    for user in range(instance.n_users):
+        slots = [event // per_slot for event in arrangement.events_of(user)]
+        assert len(slots) == len(set(slots))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    stages=st.integers(1, 4),
+    timeslots=st.integers(1, 4),
+    fans=st.integers(1, 30),
+    seed=st.integers(0, 100),
+)
+def test_festival_structure(stages, timeslots, fans, seed):
+    scenario = festival(stages, timeslots, fans, seed=seed)
+    instance = scenario.instance
+    assert instance.n_events == stages * timeslots
+    conflicts = instance.conflicts
+    for a in range(instance.n_events):
+        for b in range(a + 1, instance.n_events):
+            same_slot = a // stages == b // stages
+            adjacent_far = (
+                abs(a // stages - b // stages) == 1
+                and abs(a % stages - b % stages) > 1
+            )
+            assert conflicts.are_conflicting(a, b) == (same_slot or adjacent_far)
+    validate_arrangement(GreedyGEACC().solve(instance))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    courses=st.integers(2, 12),
+    students=st.integers(1, 30),
+    seed=st.integers(0, 100),
+)
+def test_course_allocation_structure(courses, students, seed):
+    scenario = course_allocation(courses, students, seed=seed)
+    meetings = scenario.metadata["meetings"]
+    conflicts = scenario.instance.conflicts
+    for a in range(courses):
+        for b in range(a + 1, courses):
+            assert conflicts.are_conflicting(a, b) == bool(
+                meetings[a] & meetings[b]
+            )
+    validate_arrangement(GreedyGEACC().solve(scenario.instance))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    shifts=st.integers(1, 15),
+    volunteers=st.integers(1, 30),
+    seed=st.integers(0, 100),
+)
+def test_volunteer_shifts_structure(shifts, volunteers, seed):
+    scenario = volunteer_shifts(shifts, volunteers, seed=seed)
+    intervals = scenario.metadata["intervals"]
+    conflicts = scenario.instance.conflicts
+    for a in range(shifts):
+        for b in range(a + 1, shifts):
+            s_a, e_a = intervals[a]
+            s_b, e_b = intervals[b]
+            assert conflicts.are_conflicting(a, b) == (s_a < e_b and s_b < e_a)
+    arrangement = GreedyGEACC().solve(scenario.instance)
+    validate_arrangement(arrangement)
+    # No volunteer works two overlapping shifts.
+    for volunteer in range(volunteers):
+        worked = sorted(arrangement.events_of(volunteer))
+        for i, a in enumerate(worked):
+            for b in worked[i + 1 :]:
+                s_a, e_a = intervals[a]
+                s_b, e_b = intervals[b]
+                assert not (s_a < e_b and s_b < e_a)

@@ -1,0 +1,137 @@
+"""Property-based tests of the substrates (indexes, flow, conflicts)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflicts import ConflictGraph
+from repro.flow.dense_bipartite import DenseBipartiteMinCostFlow
+from repro.flow.maxflow import max_flow
+from repro.flow.network import FlowNetwork
+from repro.flow.sspa import SuccessiveShortestPaths
+from repro.index import INDEX_CLASSES, make_index
+from tests.property.strategies import point_sets
+
+
+@settings(max_examples=25, deadline=None)
+@given(point_sets())
+def test_every_index_streams_exact_ascending_order(data):
+    """All four index kinds agree with brute force on every point set."""
+    points, query = data
+    expected = np.sort(np.linalg.norm(points - query, axis=1))
+    for kind in INDEX_CLASSES:
+        stream = list(make_index(kind, points).stream(query))
+        assert len(stream) == len(points)
+        got = np.array([d for _, d in stream])
+        assert np.all(np.diff(got) >= -1e-9), f"{kind} not ascending"
+        np.testing.assert_allclose(got, expected, atol=1e-9, err_msg=kind)
+        # Indices must be a permutation and distances genuine.
+        assert sorted(i for i, _ in stream) == list(range(len(points)))
+        for idx, dist in stream:
+            assert abs(dist - np.linalg.norm(points[idx] - query)) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(1, 4),
+    st.integers(1, 6),
+    st.integers(0, 2**16),
+)
+def test_dense_flow_matches_generic_sspa(n_events, n_users, seed):
+    rng = np.random.default_rng(seed)
+    costs = np.round(rng.random((n_events, n_users)), 3)
+    cv = rng.integers(1, 4, n_events)
+    cu = rng.integers(1, 3, n_users)
+
+    dense = DenseBipartiteMinCostFlow(costs, cv, cu)
+    dense.run()
+
+    network = FlowNetwork()
+    source = network.add_node()
+    events = network.add_nodes(n_events)
+    users = network.add_nodes(n_users)
+    sink = network.add_node()
+    for v in range(n_events):
+        network.add_arc(source, events[v], int(cv[v]))
+        for u in range(n_users):
+            network.add_arc(events[v], users[u], 1, float(costs[v, u]))
+    for u in range(n_users):
+        network.add_arc(users[u], sink, int(cu[u]))
+    generic = SuccessiveShortestPaths(network, source, sink)
+    generic_flow, generic_cost = generic.run()
+
+    assert dense.total_flow == generic_flow
+    assert abs(dense.total_cost - generic_cost) < 1e-7
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**16))
+def test_sspa_total_cost_matches_network_accounting(seed):
+    """The solver's running cost equals the network's summed arc costs."""
+    rng = np.random.default_rng(seed)
+    network = FlowNetwork()
+    n = 6
+    network.add_nodes(n)
+    for _ in range(14):
+        tail, head = (int(x) for x in rng.integers(0, n, size=2))
+        if tail != head:
+            network.add_arc(tail, head, int(rng.integers(1, 4)),
+                            float(rng.integers(0, 8)))
+    solver = SuccessiveShortestPaths(network, 0, n - 1)
+    flow, cost = solver.run()
+    assert abs(cost - network.total_cost()) < 1e-9
+    # Flow conservation at internal nodes.
+    for node in range(1, n - 1):
+        balance = 0
+        for i, arc in enumerate(network.arcs):
+            if i % 2 != 0 or arc.flow <= 0:
+                continue
+            tail = network.arcs[i ^ 1].head
+            if tail == node:
+                balance -= arc.flow
+            if arc.head == node:
+                balance += arc.flow
+        assert balance == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**16))
+def test_dinic_value_equals_sspa_max_flow(seed):
+    rng = np.random.default_rng(seed)
+    arcs = []
+    n = 7
+    for _ in range(16):
+        tail, head = (int(x) for x in rng.integers(0, n, size=2))
+        if tail != head:
+            arcs.append((tail, head, int(rng.integers(1, 5))))
+
+    dinic_net = FlowNetwork()
+    dinic_net.add_nodes(n)
+    sspa_net = FlowNetwork()
+    sspa_net.add_nodes(n)
+    for tail, head, cap in arcs:
+        dinic_net.add_arc(tail, head, cap)
+        sspa_net.add_arc(tail, head, cap, 0.0)
+    dinic_value = max_flow(dinic_net, 0, n - 1)
+    sspa_value, _ = SuccessiveShortestPaths(sspa_net, 0, n - 1).run()
+    assert dinic_value == sspa_value
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), st.integers(1, 10)),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_interval_conflicts_match_brute_force(raw):
+    intervals = [(float(s), float(s + d)) for s, d in raw]
+    graph = ConflictGraph.from_intervals(intervals)
+    n = len(intervals)
+    for i in range(n):
+        for j in range(i + 1, n):
+            s_i, e_i = intervals[i]
+            s_j, e_j = intervals[j]
+            overlap = s_i < e_j and s_j < e_i
+            assert graph.are_conflicting(i, j) == overlap

@@ -1,0 +1,62 @@
+"""Golden-value regression tests.
+
+Every generator and solver in this library is deterministic per seed, so
+these exact MaxSum values act as a tripwire: any unintended change to a
+similarity formula, a tie-break, a generator distribution, or an
+algorithm's selection rule shows up here immediately. If a change is
+*intentional* (and correct), update the constants alongside it.
+"""
+
+import pytest
+
+from repro import (
+    GreedyGEACC,
+    MeetupCityConfig,
+    MinCostFlowGEACC,
+    RandomV,
+    SyntheticConfig,
+    generate_instance,
+    meetup_city,
+)
+
+_CONFIG = SyntheticConfig(
+    n_events=20, n_users=120, cv_high=10, cu_high=4, conflict_ratio=0.25
+)
+
+
+@pytest.fixture(scope="module")
+def synthetic_seed7():
+    return generate_instance(_CONFIG, 7)
+
+
+def test_golden_greedy(synthetic_seed7):
+    assert GreedyGEACC().solve(synthetic_seed7).max_sum() == pytest.approx(
+        65.03877111368212
+    )
+
+
+def test_golden_mincostflow(synthetic_seed7):
+    assert MinCostFlowGEACC().solve(synthetic_seed7).max_sum() == pytest.approx(
+        62.43383443951378
+    )
+
+
+def test_golden_random_v(synthetic_seed7):
+    assert RandomV(seed=0).solve(synthetic_seed7).max_sum() == pytest.approx(
+        44.67919626843969
+    )
+
+
+def test_golden_meetup_auckland():
+    instance = meetup_city(MeetupCityConfig(city="auckland"), 0)
+    assert GreedyGEACC().solve(instance).max_sum() == pytest.approx(
+        915.5474512754017
+    )
+
+
+def test_golden_ordering(synthetic_seed7):
+    """The headline ordering holds on the golden workload."""
+    greedy = GreedyGEACC().solve(synthetic_seed7).max_sum()
+    mcf = MinCostFlowGEACC().solve(synthetic_seed7).max_sum()
+    random_v = RandomV(seed=0).solve(synthetic_seed7).max_sum()
+    assert greedy > mcf > random_v

@@ -1,0 +1,95 @@
+"""End-to-end integration tests across the whole pipeline.
+
+Generate -> solve with every registered solver -> validate -> analyse ->
+persist -> reload, on synthetic and (simulated) real workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SOLVERS,
+    GreedyGEACC,
+    MeetupCityConfig,
+    SyntheticConfig,
+    analyze,
+    generate_instance,
+    get_solver,
+    meetup_city,
+    validate_arrangement,
+)
+from repro.core.bounds import nn_capacity_bound, relaxation_bound
+from repro.io import (
+    load_arrangement_json,
+    load_instance_npz,
+    save_arrangement_json,
+    save_instance_npz,
+)
+
+FAST_SOLVERS = sorted(set(SOLVERS) - {"prune", "exhaustive", "mincostflow"})
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = SyntheticConfig(
+        n_events=15, n_users=80, cv_high=8, cu_high=3, conflict_ratio=0.3
+    )
+    return generate_instance(config, seed=42)
+
+
+def test_every_registered_solver_end_to_end(workload):
+    results = {}
+    for name in FAST_SOLVERS:
+        arrangement = get_solver(name).solve(workload)
+        validate_arrangement(arrangement)
+        results[name] = arrangement.max_sum()
+    arrangement = get_solver("mincostflow").solve(workload)
+    validate_arrangement(arrangement)
+    results["mincostflow"] = arrangement.max_sum()
+    # Sanity ordering: greedy >= mincostflow >= random baselines here.
+    assert results["greedy"] >= results["mincostflow"]
+    assert results["mincostflow"] > results["random-v"]
+    # Upper bounds sandwich everything.
+    relax = relaxation_bound(workload)
+    nn = nn_capacity_bound(workload)
+    for name, value in results.items():
+        assert value <= relax + 1e-9, name
+        assert value <= nn + 1e-9, name
+
+
+def test_pipeline_with_persistence(workload, tmp_path):
+    arrangement = GreedyGEACC().solve(workload)
+    stats = analyze(arrangement)
+    save_instance_npz(workload, tmp_path / "w.npz")
+    save_arrangement_json(arrangement, tmp_path / "a.json")
+    instance = load_instance_npz(tmp_path / "w.npz")
+    loaded = load_arrangement_json(tmp_path / "a.json", instance)
+    validate_arrangement(loaded, instance)
+    assert analyze(loaded).max_sum == pytest.approx(stats.max_sum)
+
+
+def test_meetup_city_pipeline():
+    instance = meetup_city(MeetupCityConfig(city="auckland"), seed=3)
+    arrangement = GreedyGEACC().solve(instance)
+    validate_arrangement(arrangement)
+    stats = analyze(arrangement)
+    assert stats.users_matched > instance.n_users * 0.5
+    assert stats.max_sum > 0
+
+
+def test_metric_variants_end_to_end():
+    rng = np.random.default_rng(0)
+    from repro.core.model import Instance
+
+    for metric in ("euclidean", "cosine", "dot"):
+        instance = Instance.from_attributes(
+            rng.uniform(0, 1, (8, 4)),
+            rng.uniform(0, 1, (30, 4)),
+            rng.integers(1, 5, 8),
+            rng.integers(1, 3, 30),
+            t=1.0,
+            metric=metric,
+        )
+        arrangement = GreedyGEACC().solve(instance)
+        validate_arrangement(arrangement)
+        assert arrangement.max_sum() > 0

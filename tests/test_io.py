@@ -1,0 +1,109 @@
+"""Tests for instance/arrangement persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import GreedyGEACC
+from repro.exceptions import ReproError
+from repro.io import (
+    load_arrangement_json,
+    load_instance_json,
+    load_instance_npz,
+    save_arrangement_json,
+    save_instance_json,
+    save_instance_npz,
+)
+
+
+def assert_instances_equal(a, b):
+    assert a.n_events == b.n_events
+    assert a.n_users == b.n_users
+    np.testing.assert_array_equal(a.event_capacities, b.event_capacities)
+    np.testing.assert_array_equal(a.user_capacities, b.user_capacities)
+    assert a.conflicts.pairs == b.conflicts.pairs
+    np.testing.assert_allclose(a.sims, b.sims, atol=1e-12)
+
+
+class TestInstanceJson:
+    def test_roundtrip_matrix_instance(self, toy, tmp_path):
+        path = tmp_path / "toy.json"
+        save_instance_json(toy, path)
+        loaded = load_instance_json(path)
+        assert_instances_equal(toy, loaded)
+
+    def test_roundtrip_attribute_instance(self, small_instance, tmp_path):
+        path = tmp_path / "inst.json"
+        save_instance_json(small_instance, path)
+        loaded = load_instance_json(path)
+        assert_instances_equal(small_instance, loaded)
+        assert loaded.event_attributes is not None
+        assert loaded.t == small_instance.t
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            load_instance_json(tmp_path / "nope.json")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_instance_json(path)
+
+    def test_wrong_version(self, tmp_path, toy):
+        import json
+
+        path = tmp_path / "v99.json"
+        save_instance_json(toy, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="version"):
+            load_instance_json(path)
+
+
+class TestInstanceNpz:
+    def test_roundtrip_matrix_instance(self, toy, tmp_path):
+        path = tmp_path / "toy.npz"
+        save_instance_npz(toy, path)
+        assert_instances_equal(toy, load_instance_npz(path))
+
+    def test_roundtrip_attribute_instance(self, small_instance, tmp_path):
+        path = tmp_path / "inst.npz"
+        save_instance_npz(small_instance, path)
+        loaded = load_instance_npz(path)
+        assert_instances_equal(small_instance, loaded)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_instance_npz(tmp_path / "nope.npz")
+
+
+class TestArrangementJson:
+    def test_roundtrip(self, small_instance, tmp_path):
+        arrangement = GreedyGEACC().solve(small_instance)
+        path = tmp_path / "arr.json"
+        save_arrangement_json(arrangement, path)
+        loaded = load_arrangement_json(path, small_instance)
+        assert loaded.pairs() == arrangement.pairs()
+        assert loaded.max_sum() == pytest.approx(arrangement.max_sum())
+
+    def test_wrong_instance_detected(self, small_instance, medium_instance, tmp_path):
+        arrangement = GreedyGEACC().solve(small_instance)
+        path = tmp_path / "arr.json"
+        save_arrangement_json(arrangement, path)
+        with pytest.raises((ReproError, IndexError)):
+            load_arrangement_json(path, medium_instance)
+
+    def test_check_disabled(self, small_instance, tmp_path):
+        import json
+
+        arrangement = GreedyGEACC().solve(small_instance)
+        path = tmp_path / "arr.json"
+        save_arrangement_json(arrangement, path)
+        payload = json.loads(path.read_text())
+        payload["max_sum"] = 123.0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="MaxSum"):
+            load_arrangement_json(path, small_instance)
+        loaded = load_arrangement_json(path, small_instance, check=False)
+        assert loaded.pairs() == arrangement.pairs()

@@ -1,0 +1,119 @@
+"""Failure-injection and malformed-input tests across the API surface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.model import Instance
+from repro.exceptions import InvalidInstanceError, ReproError
+
+
+class TestMalformedInstances:
+    def test_nan_similarities_rejected(self):
+        sims = np.array([[0.5, np.nan]])
+        with pytest.raises(InvalidInstanceError, match="finite"):
+            Instance.from_matrix(sims, np.array([1]), np.array([1, 1]))
+
+    def test_inf_similarities_rejected(self):
+        sims = np.array([[np.inf, 0.5]])
+        with pytest.raises(InvalidInstanceError, match="finite"):
+            Instance.from_matrix(sims, np.array([1]), np.array([1, 1]))
+
+    def test_nan_attributes_rejected(self):
+        attrs = np.array([[1.0, np.nan]])
+        with pytest.raises(InvalidInstanceError, match="finite"):
+            Instance.from_attributes(
+                attrs, np.zeros((2, 2)), np.array([1]), np.array([1, 1])
+            )
+
+    def test_float_capacities_truncate_consistently(self):
+        # Integer coercion must not silently create capacity where the
+        # caller passed fractional garbage; numpy truncates, we document
+        # by asserting the truncation (int64 cast).
+        instance = Instance.from_matrix(
+            np.array([[0.5]]), np.array([1.9]), np.array([2.1])
+        )
+        assert instance.event_capacities[0] == 1
+        assert instance.user_capacities[0] == 2
+
+
+class TestCorruptFiles:
+    def test_cli_missing_input_file_exits_2(self, tmp_path, capsys):
+        code = main(["solve", "--input", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cli_corrupt_npz_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"this is not an npz archive")
+        code = main(["solve", "--input", str(bad)])
+        assert code == 2
+
+    def test_truncated_npz(self, tmp_path, small_instance):
+        from repro.io import load_instance_npz, save_instance_npz
+
+        path = tmp_path / "inst.npz"
+        save_instance_npz(small_instance, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ReproError):
+            load_instance_npz(path)
+
+    def test_arrangement_with_out_of_range_pairs(self, tmp_path, small_instance):
+        import json
+
+        from repro.io import load_arrangement_json
+
+        path = tmp_path / "arr.json"
+        path.write_text(json.dumps({"version": 1, "pairs": [[999, 0]], "max_sum": 0}))
+        with pytest.raises((ReproError, IndexError)):
+            load_arrangement_json(path, small_instance)
+
+
+class TestDegenerateShapes:
+    def test_one_by_one_instance_all_solvers(self):
+        from repro.core.algorithms import SOLVERS, get_solver
+        from repro.core.validation import validate_arrangement
+
+        instance = Instance.from_matrix(
+            np.array([[0.7]]), np.array([1]), np.array([1])
+        )
+        for name in sorted(SOLVERS):
+            if name == "exhaustive":
+                continue
+            arrangement = get_solver(name).solve(instance)
+            validate_arrangement(arrangement)
+            if name not in ("random-v", "random-u"):
+                assert arrangement.pairs() == [(0, 0)], name
+
+    def test_single_event_many_users(self):
+        from repro.core.algorithms import GreedyGEACC
+
+        sims = np.linspace(0.1, 0.9, 30).reshape(1, 30)
+        instance = Instance.from_matrix(
+            sims, np.array([5]), np.ones(30, dtype=int)
+        )
+        arrangement = GreedyGEACC().solve(instance)
+        # The 5 most interested users get the seats.
+        assert sorted(arrangement.users_of(0)) == [25, 26, 27, 28, 29]
+
+    def test_many_events_single_user(self):
+        from repro.core.algorithms import GreedyGEACC
+        from repro.core.conflicts import ConflictGraph
+
+        sims = np.linspace(0.1, 0.9, 10).reshape(10, 1)
+        conflicts = ConflictGraph.complete(10)
+        instance = Instance.from_matrix(
+            sims, np.ones(10, dtype=int), np.array([10]), conflicts
+        )
+        arrangement = GreedyGEACC().solve(instance)
+        assert arrangement.pairs() == [(9, 0)]  # only the best, all conflict
+
+    def test_all_capacities_zero(self):
+        from repro.core.algorithms import GreedyGEACC, MinCostFlowGEACC
+
+        instance = Instance.from_matrix(
+            np.array([[0.9]]), np.array([0]), np.array([0])
+        )
+        assert len(GreedyGEACC().solve(instance)) == 0
+        assert len(MinCostFlowGEACC().solve(instance)) == 0

@@ -1,0 +1,93 @@
+"""Tests for the Theorem 1 reduction (MFCGS -> GEACC).
+
+The key end-to-end check: for random MFCGS instances, the optimal MaxSum
+of the reduced GEACC instance times R equals the MFCGS maximum flow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithms import PruneGEACC
+from repro.exceptions import ReductionError
+from repro.theory.reduction import MFCGSInstance, mfcgs_max_flow, reduce_to_geacc
+
+
+def test_instance_validation():
+    with pytest.raises(ReductionError):
+        MFCGSInstance([(1, 2)])  # not three capacities
+    with pytest.raises(ReductionError):
+        MFCGSInstance([(1, 2, -1)])
+    with pytest.raises(ReductionError):
+        MFCGSInstance([(1, 1, 1), (1, 1, 1)], conflicts=[((0, 0), (0, 1))])
+    with pytest.raises(ReductionError):
+        MFCGSInstance([(1, 1, 1)], conflicts=[((0, 0), (5, 1))])
+    with pytest.raises(ReductionError):
+        MFCGSInstance([(1, 1, 1), (1, 1, 1)], conflicts=[((0, 3), (1, 1))])
+
+
+def test_bottleneck():
+    mfcgs = MFCGSInstance([(3, 1, 2), (5, 5, 5)])
+    assert mfcgs.bottleneck(0) == 1
+    assert mfcgs.bottleneck(1) == 5
+
+
+def test_max_flow_no_conflicts():
+    mfcgs = MFCGSInstance([(3, 1, 2), (5, 5, 5), (2, 2, 4)])
+    assert mfcgs_max_flow(mfcgs) == 1 + 5 + 2
+
+
+def test_max_flow_with_conflicts():
+    # Paths 0 and 1 conflict: keep the larger (5); path 2 free.
+    mfcgs = MFCGSInstance(
+        [(3, 1, 2), (5, 5, 5), (2, 2, 4)],
+        conflicts=[((0, 1), (1, 1))],
+    )
+    assert mfcgs_max_flow(mfcgs) == 5 + 2
+
+
+def test_max_flow_conflict_triangle():
+    mfcgs = MFCGSInstance(
+        [(2, 2, 2), (3, 3, 3), (4, 4, 4)],
+        conflicts=[((0, 0), (1, 0)), ((1, 2), (2, 2)), ((0, 1), (2, 1))],
+    )
+    # Pairwise conflicting: best single path = 4.
+    assert mfcgs_max_flow(mfcgs) == 4
+
+
+def test_reduction_structure():
+    mfcgs = MFCGSInstance(
+        [(1, 1, 1), (2, 2, 2), (3, 3, 3)],
+        conflicts=[((0, 1), (1, 1))],
+    )
+    instance, r_total = reduce_to_geacc(mfcgs)
+    assert r_total == 6
+    assert instance.n_events == 3
+    # Paths 0 and 1 merged into one user of capacity 2; path 2 alone.
+    assert instance.n_users == 2
+    assert sorted(instance.user_capacities.tolist()) == [1, 2]
+    assert instance.conflicts.are_conflicting(0, 1)
+    assert np.count_nonzero(instance.sims) == 3
+
+
+def test_reduction_zero_bottlenecks_rejected():
+    with pytest.raises(ReductionError, match="R = 0"):
+        reduce_to_geacc(MFCGSInstance([(0, 1, 1)]))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_equivalence_theorem1(seed):
+    """max MaxSum * R == MFCGS max flow on random instances."""
+    rng = np.random.default_rng(seed)
+    n_paths = int(rng.integers(2, 6))
+    caps = [tuple(int(c) for c in rng.integers(1, 6, size=3)) for _ in range(n_paths)]
+    conflicts = []
+    for i in range(n_paths):
+        for j in range(i + 1, n_paths):
+            if rng.random() < 0.3:
+                conflicts.append(
+                    ((i, int(rng.integers(0, 3))), (j, int(rng.integers(0, 3))))
+                )
+    mfcgs = MFCGSInstance(caps, conflicts)
+    instance, r_total = reduce_to_geacc(mfcgs)
+    optimum = PruneGEACC().solve(instance).max_sum()
+    assert optimum * r_total == pytest.approx(mfcgs_max_flow(mfcgs), abs=1e-6)
