@@ -1,0 +1,40 @@
+"""Diagnostic records produced by :mod:`repro.analysis` rules.
+
+A diagnostic pins one finding to a ``path:line:col`` location and names
+the rule that produced it.  Rendering is deliberately ``grep``-friendly
+(one line per finding) so editors and CI logs can jump to the site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Ordering/equality cover every field, so sorting groups findings by
+    file and line while de-duplication keeps distinct rules that fire on
+    the same location.
+
+    Attributes:
+        path: Display path of the offending file (as given on the
+            command line, joined with the in-tree relative path).
+        line: 1-based line of the finding.
+        col: 0-based column of the finding (AST convention).
+        rule_id: Short identifier, e.g. ``R1`` .. ``R5`` (or ``E0`` for
+            files the engine could not parse).
+        message: Human-readable explanation, including the suggested
+            fix where one exists.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """Format as ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"

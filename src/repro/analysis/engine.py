@@ -1,0 +1,158 @@
+"""The ``geacc-lint`` engine: collect files, parse, run rules, filter.
+
+The engine is deliberately tiny: discovery (``.py`` files under the
+given roots), one :func:`ast.parse` per file, a pass over per-module
+rules, one pass of project-level rules, and suppression filtering.  All
+pattern knowledge lives in the rule classes (see
+:mod:`repro.analysis.registry`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+import ast
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, load_rules
+from repro.analysis.suppress import SuppressionIndex, parse_suppressions
+
+#: Rule id reported for files the engine cannot parse at all.
+SYNTAX_ERROR_ID = "E0"
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file plus everything rules need to inspect it.
+
+    Attributes:
+        path: Absolute filesystem path.
+        display_path: Path as shown in diagnostics (input path joined
+            with the in-tree relative path).
+        relpath: POSIX-style path relative to the lint root; rules use
+            it for scoping (e.g. R2 only applies under ``core/`` and
+            ``flow/``).
+        tree: The parsed AST.
+        lines: Raw source lines (1-based access via ``lines[i - 1]``).
+        suppressions: Parsed ``# geacc-lint: disable`` directives.
+    """
+
+    path: Path
+    display_path: str
+    relpath: str
+    tree: ast.Module
+    lines: list[str]
+    suppressions: SuppressionIndex
+
+    @property
+    def relparts(self) -> tuple[str, ...]:
+        """Components of :attr:`relpath` (``core/model.py`` -> ``("core", "model.py")``)."""
+        return PurePosixPath(self.relpath).parts
+
+
+@dataclass
+class Project:
+    """The whole file set handed to project-level rules."""
+
+    roots: list[Path]
+    modules: list[ParsedModule] = field(default_factory=list)
+
+    def module_at(self, relpath: str) -> ParsedModule | None:
+        """Find a module by exact relative path, or None."""
+        for module in self.modules:
+            if module.relpath == relpath:
+                return module
+        return None
+
+    def modules_under(self, relprefix: str) -> list[ParsedModule]:
+        """All modules whose relpath sits under ``relprefix`` (a dir)."""
+        prefix = relprefix.rstrip("/") + "/"
+        return [m for m in self.modules if m.relpath.startswith(prefix)]
+
+
+def _discover(paths: Sequence[str | Path]) -> list[tuple[Path, str, str]]:
+    """Expand input paths into ``(abs_path, display_path, relpath)`` triples."""
+    found: list[tuple[Path, str, str]] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            for file_path in sorted(root.rglob("*.py")):
+                rel = file_path.relative_to(root).as_posix()
+                found.append((file_path, str(Path(raw) / rel), rel))
+        else:
+            found.append((root, str(raw), root.name))
+    return found
+
+
+def parse_project(paths: Sequence[str | Path]) -> tuple[Project, list[Diagnostic]]:
+    """Parse every discovered file; syntax errors become ``E0`` findings."""
+    project = Project(roots=[Path(p) for p in paths])
+    errors: list[Diagnostic] = []
+    for file_path, display, rel in _discover(paths):
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as exc:
+            errors.append(
+                Diagnostic(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule_id=SYNTAX_ERROR_ID,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        lines = source.splitlines()
+        project.modules.append(
+            ParsedModule(
+                path=file_path,
+                display_path=display,
+                relpath=rel,
+                tree=tree,
+                lines=lines,
+                suppressions=parse_suppressions(lines),
+            )
+        )
+    return project, errors
+
+
+def lint_project(project: Project, rules: Sequence[Rule]) -> list[Diagnostic]:
+    """Run ``rules`` over a parsed project and filter suppressed findings."""
+    findings: list[Diagnostic] = []
+    suppression_by_display = {m.display_path: m.suppressions for m in project.modules}
+    for module in project.modules:
+        for rule in rules:
+            findings.extend(rule.check_module(module))
+    for rule in rules:
+        findings.extend(rule.check_project(project))
+    kept = [
+        diag
+        for diag in findings
+        if not _is_suppressed(suppression_by_display, diag)
+    ]
+    return sorted(set(kept))
+
+
+def _is_suppressed(
+    by_display: dict[str, SuppressionIndex], diag: Diagnostic
+) -> bool:
+    index = by_display.get(diag.path)
+    return index is not None and index.is_suppressed(diag.line, diag.rule_id)
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint ``paths`` with the registered rules; the one-call API.
+
+    Returns the sorted, suppression-filtered findings (syntax errors
+    first-class among them, never filtered).
+    """
+    project, errors = parse_project(paths)
+    rules = load_rules(select=select, ignore=ignore)
+    return sorted(errors + lint_project(project, rules))

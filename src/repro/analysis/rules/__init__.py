@@ -1,0 +1,20 @@
+"""Built-in ``geacc-lint`` rules.
+
+Importing this package registers every rule class in
+:data:`repro.analysis.registry.RULES` (one module per rule; add new
+rules by dropping a module here and importing it below).
+"""
+
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.floats import FloatComparisonRule
+from repro.analysis.rules.hygiene import ApiHygieneRule
+from repro.analysis.rules.ordering import OrderingSafetyRule
+from repro.analysis.rules.solver_registry import SolverRegistryRule
+
+__all__ = [
+    "DeterminismRule",
+    "FloatComparisonRule",
+    "SolverRegistryRule",
+    "OrderingSafetyRule",
+    "ApiHygieneRule",
+]

@@ -1,0 +1,129 @@
+"""R1 -- determinism: no hidden global RNG state anywhere under ``src/repro``.
+
+Every reported number in the reproduction must be a pure function of
+the instance and an explicit seed.  The stdlib ``random`` module and
+NumPy's legacy ``np.random.*`` global API both draw from interpreter
+state that any import or unrelated call can perturb, which is exactly
+how tie-breaks silently drift between runs (cf. the objective-value
+discrepancies catalogued for assignment-with-conflicts solvers).  The
+only sanctioned source of randomness is an explicitly seeded
+``numpy.random.Generator`` threaded through call signatures.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ParsedModule
+from repro.analysis.registry import Rule, register_rule
+
+#: Attributes of ``numpy.random`` that construct explicit generators
+#: (allowed) rather than touching the global state (flagged).
+_GENERATOR_API = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+     "PCG64DXSM", "MT19937", "Philox", "SFC64"}
+)
+
+
+def _numpy_random_attr(dotted: str) -> str | None:
+    """For ``np.random.rand`` / ``numpy.random.seed`` return the attr name."""
+    parts = dotted.split(".")
+    if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+        return parts[2]
+    return None
+
+
+@register_rule
+class DeterminismRule(Rule):
+    """Flag unseeded / global-state randomness."""
+
+    rule_id = "R1"
+    title = "no unseeded random.* / np.random.* calls; thread an explicit rng/seed"
+    rationale = (
+        "solver output must be a pure function of (instance, seed); global RNG "
+        "state makes paper numbers irreproducible"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        # Resolve stdlib-random aliases up front so call checks don't
+        # depend on walk order relative to the import statements.
+        stdlib_random_aliases = _stdlib_random_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, stdlib_random_aliases)
+
+    def _check_import_from(
+        self, module: ParsedModule, node: ast.ImportFrom
+    ) -> Iterator[Diagnostic]:
+        if node.module == "random":
+            names = ", ".join(alias.name for alias in node.names)
+            yield _diag(
+                module, node,
+                f"import of stdlib random ({names}): stdlib random draws from "
+                "hidden global state; thread an explicit numpy Generator instead",
+            )
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _GENERATOR_API:
+                    yield _diag(
+                        module, node,
+                        f"import of legacy numpy.random.{alias.name}: use the "
+                        "explicit Generator API (numpy.random.default_rng(seed))",
+                    )
+
+    def _check_call(
+        self, module: ParsedModule, node: ast.Call, stdlib_aliases: set[str]
+    ) -> Iterator[Diagnostic]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        root = dotted.split(".", 1)[0]
+        if root in stdlib_aliases and "." in dotted:
+            yield _diag(
+                module, node,
+                f"call to stdlib {dotted}(): draws from hidden global RNG state; "
+                "thread an explicit numpy.random.Generator / seed",
+            )
+            return
+        attr = _numpy_random_attr(dotted)
+        if attr is None:
+            return
+        if attr == "default_rng":
+            if not node.args and not any(k.arg == "seed" for k in node.keywords):
+                yield _diag(
+                    module, node,
+                    "np.random.default_rng() without a seed: pass the run's "
+                    "explicit seed so results are reproducible",
+                )
+        elif attr not in _GENERATOR_API:
+            yield _diag(
+                module, node,
+                f"legacy global-state call {dotted}(): use an explicitly seeded "
+                "numpy.random.default_rng(seed) Generator",
+            )
+
+
+def _stdlib_random_aliases(tree: ast.Module) -> set[str]:
+    """Names bound to the stdlib random module (``import random as rnd``)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    aliases.add(alias.asname or "random")
+    return aliases
+
+
+def _diag(module: ParsedModule, node: ast.AST, message: str) -> Diagnostic:
+    return Diagnostic(
+        path=module.display_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule_id=DeterminismRule.rule_id,
+        message=message,
+    )

@@ -1,0 +1,118 @@
+"""R2 -- float discipline: no ``==``/``!=`` on similarity/objective floats.
+
+Scoped to ``core/`` and ``flow/``: the modules where MaxSum objectives,
+cosine similarities and flow costs live.  Exact equality between
+floating-point objective expressions is how "same MaxSum" checks pass
+on one platform and fail on another (summation order, FMA, BLAS); the
+tolerance helpers in :mod:`repro.core.numeric` exist precisely so call
+sites never write ``a == b`` on floats.
+
+Detection is syntactic (no type inference): an operand counts as
+float-typed when it is a float literal, a ``float(...)`` cast, true
+division, or a name/attribute/call whose identifier contains a
+similarity/objective token (``sim``, ``cost``, ``score``, ``maxsum``,
+...).  Intentional exact comparisons (e.g. staleness checks on values
+copied bit-for-bit) carry a ``# geacc-lint: disable=R2`` audit comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutils import terminal_name
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ParsedModule
+from repro.analysis.registry import Rule, register_rule
+
+#: Identifier tokens (underscore-separated) that signal a float-valued
+#: similarity / objective / cost expression in this codebase.
+FLOAT_TOKENS = frozenset(
+    {
+        "sim", "sims", "similarity", "similarities",
+        "score", "scores", "cost", "costs",
+        "maxsum", "sum", "objective", "objectives",
+        "priority", "priorities", "satisfaction",
+        "weight", "weights", "gain", "gains",
+        "bound", "bounds", "dist", "distance", "distances",
+        "tol", "eps", "epsilon",
+    }
+)
+
+#: Directory components the rule is scoped to.
+_SCOPED_DIRS = frozenset({"core", "flow"})
+
+
+def _identifier_tokens(name: str) -> set[str]:
+    return set(name.lower().split("_"))
+
+
+def _is_float_typed(node: ast.expr) -> bool:
+    """Heuristic: does this expression syntactically read as a float?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_typed(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True  # true division always yields float
+        return _is_float_typed(node.left) or _is_float_typed(node.right)
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id == "float":
+            return True
+        name = terminal_name(node.func)
+        return name is not None and _identifier_tokens(name) & FLOAT_TOKENS != set()
+    if isinstance(node, ast.Subscript):
+        return _is_float_typed(node.value)
+    name = terminal_name(node)
+    if name is not None:
+        return _identifier_tokens(name) & FLOAT_TOKENS != set()
+    return False
+
+
+def _is_exempt_operand(node: ast.expr) -> bool:
+    """Comparisons against None/str/bool are identity-ish, never float."""
+    return isinstance(node, ast.Constant) and (
+        node.value is None or isinstance(node.value, (str, bool))
+    )
+
+
+@register_rule
+class FloatComparisonRule(Rule):
+    """Flag exact float equality in the objective-bearing subsystems."""
+
+    rule_id = "R2"
+    title = "no ==/!= between float similarity/objective expressions in core/ and flow/"
+    rationale = (
+        "exact float equality on MaxSum/similarity values is platform-dependent; "
+        "use repro.core.numeric.close/isclose with an explicit tolerance"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        if not _SCOPED_DIRS & set(module.relparts[:-1]):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_exempt_operand(left) or _is_exempt_operand(right):
+                    continue
+                if _is_float_typed(left) or _is_float_typed(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield Diagnostic(
+                        path=module.display_path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"float {symbol} comparison on a similarity/objective "
+                            "expression: use repro.core.numeric.close(a, b) with "
+                            "an explicit tolerance (or suppress with "
+                            "'# geacc-lint: disable=R2' if exact copy semantics "
+                            "are intended)"
+                        ),
+                    )

@@ -1,0 +1,145 @@
+"""R5 -- API hygiene: mutable defaults, bare excepts, untyped core API.
+
+Three checks share one rule ID (they are all "the public surface must
+be honest about its contract"):
+
+* **mutable default arguments** (anywhere) -- a ``def f(x=[])`` default
+  is shared across calls; a solver keeping scratch state there would
+  leak one instance's partial arrangement into the next solve;
+* **bare except** (anywhere) -- swallowing ``KeyboardInterrupt`` and
+  ``SystemExit`` turns an aborted benchmark into a half-written result
+  file; catch a concrete exception type;
+* **missing annotations on public functions under ``core/``** -- the
+  strict-mypy surface of the reproduction; an unannotated public
+  function silently opts its callers out of type checking.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ParsedModule
+from repro.analysis.registry import Rule, register_rule
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+_ANNOTATION_SCOPE_DIR = "core"
+
+_FunctionDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp,
+                         ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+def _iter_defaults(function: _FunctionDef) -> Iterator[ast.expr]:
+    yield from function.args.defaults
+    for default in function.args.kw_defaults:
+        if default is not None:
+            yield default
+
+
+def _top_level_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[_FunctionDef, bool]]:
+    """(function, is_method) for module-level defs and direct class members.
+
+    Nested functions are intentionally excluded: they are implementation
+    detail, not API surface.
+    """
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, False
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield item, True
+
+
+def _is_staticmethod(function: _FunctionDef) -> bool:
+    return any(
+        isinstance(decorator, ast.Name) and decorator.id == "staticmethod"
+        for decorator in function.decorator_list
+    )
+
+
+def _unannotated_params(function: _FunctionDef, is_method: bool) -> list[str]:
+    args = function.args
+    params = [*args.posonlyargs, *args.args]
+    if is_method and not _is_staticmethod(function) and params:
+        params = params[1:]  # self / cls carry an implicit type
+    params += args.kwonlyargs
+    for variadic in (args.vararg, args.kwarg):
+        if variadic is not None:
+            params.append(variadic)
+    return [param.arg for param in params if param.annotation is None]
+
+
+@register_rule
+class ApiHygieneRule(Rule):
+    """Mutable defaults, bare excepts, and untyped public core functions."""
+
+    rule_id = "R5"
+    title = "no mutable default args / bare excepts; public core API fully annotated"
+    rationale = (
+        "shared mutable defaults leak state across solves, bare excepts swallow "
+        "aborts, and unannotated public functions opt callers out of strict mypy"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for default in _iter_defaults(node):
+                    if _is_mutable_default(default):
+                        yield self._diag(
+                            module, default,
+                            f"mutable default argument in {node.name}(): the "
+                            "default object is shared across calls; default to "
+                            "None and build inside the function",
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self._diag(
+                    module, node,
+                    "bare except: also catches KeyboardInterrupt/SystemExit; "
+                    "name a concrete exception type",
+                )
+        if _ANNOTATION_SCOPE_DIR in module.relparts[:-1]:
+            yield from self._check_annotations(module)
+
+    def _check_annotations(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        for function, is_method in _top_level_functions(module.tree):
+            if function.name.startswith("_") and not (
+                function.name.startswith("__") and function.name.endswith("__")
+            ):
+                continue  # private helpers are not API surface
+            missing = _unannotated_params(function, is_method)
+            if missing:
+                listed = ", ".join(missing)
+                yield self._diag(
+                    module, function,
+                    f"public function {function.name}() has unannotated "
+                    f"parameter(s): {listed}",
+                )
+            if function.returns is None:
+                yield self._diag(
+                    module, function,
+                    f"public function {function.name}() lacks a return "
+                    "annotation (use '-> None' for procedures)",
+                )
+
+    def _diag(self, module: ParsedModule, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )

@@ -1,0 +1,108 @@
+"""R4 -- ordering safety: set/dict-values iteration must not feed tie-breaks.
+
+Greedy-GEACC and Prune-GEACC resolve equal-similarity candidates by
+*whichever comes first*; if the candidate stream iterates a ``set`` (or
+``dict.values()``), "first" depends on hash seeding and insertion
+history, and two runs of the same instance can return different
+arrangements with the same MaxSum -- or, after a pruning-bound
+interaction, different MaxSums.  The paper's numbers are only
+reproducible because every tie-break consumes an index-ordered
+sequence.
+
+Two patterns are flagged:
+
+* a ``for`` loop (or comprehension) over a set-like expression inside a
+  function that pushes onto a heap (``heapq.heappush`` & friends) --
+  heap order then inherits set order for equal keys;
+* ``sorted``/``min``/``max``/``heapq.nlargest``/``nsmallest`` **with a
+  key function** applied directly to a set-like iterable -- with a key,
+  distinct elements can compare equal and the winner inherits set
+  order.  (Without a key, a total order over distinct elements makes
+  the result well-defined, so that case stays silent.)
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutils import is_set_like, iter_function_defs, terminal_name
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ParsedModule
+from repro.analysis.registry import Rule, register_rule
+
+_HEAP_PUSHERS = frozenset({"heappush", "heappushpop", "heapreplace"})
+_TIE_BREAKERS = frozenset({"sorted", "min", "max", "nlargest", "nsmallest"})
+
+
+def _contains_heap_push(node: ast.AST) -> bool:
+    return any(
+        isinstance(inner, ast.Call)
+        and terminal_name(inner.func) in _HEAP_PUSHERS
+        for inner in ast.walk(node)
+    )
+
+
+def _set_like_iters(node: ast.AST) -> Iterator[ast.expr]:
+    """Set-like iterables consumed by loops/comprehensions under ``node``."""
+    for inner in ast.walk(node):
+        if isinstance(inner, (ast.For, ast.AsyncFor)) and is_set_like(inner.iter):
+            yield inner.iter
+        elif isinstance(inner, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in inner.generators:
+                if is_set_like(generator.iter):
+                    yield generator.iter
+
+
+@register_rule
+class OrderingSafetyRule(Rule):
+    """Flag set-order-dependent tie-break and heap-push sites."""
+
+    rule_id = "R4"
+    title = "no set/dict.values() iteration feeding heap pushes or keyed tie-breaks"
+    rationale = (
+        "tie-breaks must consume index-ordered sequences; set iteration order "
+        "varies with hashing and insertion history, so equal-similarity "
+        "candidates would be arranged differently across runs"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        for function in iter_function_defs(module.tree):
+            if not _contains_heap_push(function):
+                continue
+            for iterable in _set_like_iters(function):
+                yield self._diag(
+                    module, iterable,
+                    "iteration over a set-like collection feeds heap pushes in "
+                    f"{function.name}(); heap tie-order inherits the set's hash "
+                    "order -- iterate a sorted/index-ordered sequence instead",
+                )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_tie_breaker(module, node)
+
+    def _check_tie_breaker(
+        self, module: ParsedModule, node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        name = terminal_name(node.func)
+        if name not in _TIE_BREAKERS:
+            return
+        if not any(keyword.arg == "key" for keyword in node.keywords):
+            return
+        for arg in node.args:
+            if is_set_like(arg):
+                yield self._diag(
+                    module, arg,
+                    f"{name}(..., key=...) over a set-like collection: with a "
+                    "key function, tied elements resolve by set iteration "
+                    "order -- sort an index-ordered sequence instead",
+                )
+
+    def _diag(self, module: ParsedModule, node: ast.expr, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=module.display_path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule_id=self.rule_id,
+            message=message,
+        )

@@ -1,0 +1,216 @@
+"""R3 -- solver-registry completeness (a cross-file, project-level rule).
+
+Every concrete :class:`~repro.core.algorithms.base.Solver` subclass in
+``core/algorithms/`` must be
+
+1. **named** -- decorated with ``@register_solver("<name>")``, with no
+   duplicate names across the package,
+2. **reachable** -- its defining module imported from the package
+   ``__init__`` (otherwise the decorator never runs and the CLI's
+   ``--algorithms`` choices silently lose the solver), and
+3. **exported** -- listed in the package ``__init__``'s ``__all__``.
+
+A solver that drops out of the registry doesn't fail loudly: the
+experiment harness just runs fewer methods and the reproduction's
+comparison tables silently thin out.  This rule turns that drift into a
+lint failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.astutils import terminal_name
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ParsedModule, Project
+from repro.analysis.registry import Rule, register_rule
+
+_BASE_RELPATH_SUFFIX = "core/algorithms/base.py"
+_ROOT_CLASS = "Solver"
+
+
+@dataclass
+class _ClassInfo:
+    module: ParsedModule
+    node: ast.ClassDef
+    base_names: list[str]
+    registered_name: str | None
+    is_abstract: bool
+
+
+def _registered_name(node: ast.ClassDef) -> str | None:
+    """The ``"name"`` argument of a ``@register_solver("name")`` decorator."""
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        if terminal_name(decorator.func) != "register_solver":
+            continue
+        if decorator.args and isinstance(decorator.args[0], ast.Constant):
+            value = decorator.args[0].value
+            if isinstance(value, str):
+                return value
+        return ""  # registered, but with a non-literal / missing name
+    return None
+
+
+def _is_abstract(node: ast.ClassDef) -> bool:
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in item.decorator_list:
+                if terminal_name(decorator) == "abstractmethod":
+                    return True
+    return False
+
+
+def _collect_classes(modules: list[ParsedModule]) -> dict[str, _ClassInfo]:
+    classes: dict[str, _ClassInfo] = {}
+    for module in modules:
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = [
+                name
+                for name in (terminal_name(base) for base in node.bases)
+                if name is not None
+            ]
+            classes[node.name] = _ClassInfo(
+                module=module,
+                node=node,
+                base_names=base_names,
+                registered_name=_registered_name(node),
+                is_abstract=_is_abstract(node),
+            )
+    return classes
+
+
+def _solver_subclasses(classes: dict[str, _ClassInfo]) -> set[str]:
+    """Transitive subclasses of ``Solver`` among the collected classes."""
+    subclasses: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, info in classes.items():
+            if name in subclasses:
+                continue
+            if any(
+                base == _ROOT_CLASS or base in subclasses
+                for base in info.base_names
+            ):
+                subclasses.add(name)
+                changed = True
+    return subclasses
+
+
+def _init_exports(init_module: ParsedModule | None) -> tuple[set[str], set[str]]:
+    """(names imported in __init__, names listed in its __all__)."""
+    imported: set[str] = set()
+    dunder_all: set[str] = set()
+    if init_module is None:
+        return imported, dunder_all
+    for node in init_module.tree.body:
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                imported.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "__all__" in targets and isinstance(node.value, (ast.List, ast.Tuple)):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        dunder_all.add(element.value)
+    return imported, dunder_all
+
+
+@register_rule
+class SolverRegistryRule(Rule):
+    """Cross-file check that the solver registry covers every solver."""
+
+    rule_id = "R3"
+    title = "every concrete Solver subclass is registered, imported, and exported"
+    rationale = (
+        "an unregistered/unimported solver silently disappears from the CLI and "
+        "experiment harness, thinning the paper's comparison tables"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Diagnostic]:
+        base_module = next(
+            (m for m in project.modules if m.relpath.endswith(_BASE_RELPATH_SUFFIX)),
+            None,
+        )
+        if base_module is None:
+            return  # not linting a tree that contains the solver package
+        package_dir = base_module.relpath.rsplit("/", 1)[0]
+        package_modules = [
+            m
+            for m in project.modules
+            if m.relpath.rsplit("/", 1)[0] == package_dir
+        ]
+        init_module = project.module_at(f"{package_dir}/__init__.py")
+        imported, dunder_all = _init_exports(init_module)
+
+        classes = _collect_classes(
+            [m for m in package_modules if m is not base_module]
+        )
+        solver_names = _solver_subclasses(classes)
+        seen_registry_names: dict[str, str] = {}
+        for class_name in sorted(solver_names):
+            info = classes[class_name]
+            if info.is_abstract:
+                continue
+            yield from self._check_class(
+                class_name, info, imported, dunder_all, seen_registry_names
+            )
+
+    def _check_class(
+        self,
+        class_name: str,
+        info: _ClassInfo,
+        imported: set[str],
+        dunder_all: set[str],
+        seen_registry_names: dict[str, str],
+    ) -> Iterator[Diagnostic]:
+        if info.registered_name is None:
+            yield self._diag(
+                info,
+                f"solver class {class_name} lacks @register_solver(...): it is "
+                "unreachable from get_solver()/the CLI dispatch",
+            )
+        elif info.registered_name == "":
+            yield self._diag(
+                info,
+                f"solver class {class_name} registers without a string-literal "
+                "name; the registry key must be auditable statically",
+            )
+        else:
+            previous = seen_registry_names.get(info.registered_name)
+            if previous is not None:
+                yield self._diag(
+                    info,
+                    f"solver name {info.registered_name!r} already registered by "
+                    f"{previous}; duplicate registration raises at import time",
+                )
+            seen_registry_names[info.registered_name] = class_name
+        if class_name not in imported:
+            yield self._diag(
+                info,
+                f"solver class {class_name} is not imported in the package "
+                "__init__, so its @register_solver decorator never runs",
+            )
+        if class_name not in dunder_all:
+            yield self._diag(
+                info,
+                f"solver class {class_name} is missing from __all__ in the "
+                "package __init__",
+            )
+
+    def _diag(self, info: _ClassInfo, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=info.module.display_path,
+            line=info.node.lineno,
+            col=info.node.col_offset,
+            rule_id=self.rule_id,
+            message=message,
+        )

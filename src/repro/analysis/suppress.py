@@ -1,0 +1,75 @@
+"""Inline suppression comments for :mod:`repro.analysis`.
+
+Two forms are recognised:
+
+* ``# geacc-lint: disable=R2`` on the *same line* as a finding silences
+  the listed rules for that line only.  ``disable=R1,R2`` silences
+  several; a bare ``disable`` (no ``=``) silences every rule on the
+  line.
+* ``# geacc-lint: disable-file=R4`` anywhere in a file silences the
+  listed rules (or, with no ``=``, all rules) for the whole file.
+
+Suppressions are an explicit audit trail: the comment marks a reviewed
+exception (e.g. an intentional exact float comparison of values copied
+bit-for-bit), not an escape hatch, so prefer fixing the finding.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_DIRECTIVE = re.compile(
+    r"#\s*geacc-lint:\s*(?P<scope>disable(?:-file)?)\s*"
+    r"(?:=\s*(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*))?"
+)
+
+#: Sentinel meaning "every rule" in a suppression set.
+ALL_RULES = "*"
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file suppression state parsed from source comments.
+
+    Attributes:
+        by_line: Maps a 1-based line number to the set of rule IDs
+            suppressed on that line (``{"*"}`` means all).
+        whole_file: Rule IDs suppressed for the entire file.
+    """
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    whole_file: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True if ``rule_id`` is silenced at ``line``."""
+        if ALL_RULES in self.whole_file or rule_id in self.whole_file:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return ALL_RULES in rules or rule_id in rules
+
+
+def parse_suppressions(source_lines: list[str]) -> SuppressionIndex:
+    """Scan source lines for ``geacc-lint`` directives.
+
+    The scan is textual (regex over raw lines) rather than token-based:
+    directives inside string literals would be misread, but a literal
+    containing ``# geacc-lint:`` only occurs in this package's own
+    tests, which lint synthetic snippets, never real modules.
+    """
+    index = SuppressionIndex()
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        listed = match.group("rules")
+        rules = (
+            {part.strip() for part in listed.split(",")} if listed else {ALL_RULES}
+        )
+        if match.group("scope") == "disable-file":
+            index.whole_file.update(rules)
+        else:
+            index.by_line.setdefault(lineno, set()).update(rules)
+    return index

@@ -10,6 +10,9 @@ Subcommands:
 * ``geacc experiment`` -- run one of the paper's figure drivers and print
   its series (see ``repro.experiments.figures``).
 * ``geacc info`` -- list registered solvers, figures and scales.
+* ``geacc lint`` -- run the GEACC-aware static-analysis pass (also
+  available as the ``geacc-lint`` console script; see
+  ``docs/static-analysis.md``).
 """
 
 from __future__ import annotations
@@ -173,6 +176,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.ignore:
+        argv += ["--ignore", args.ignore]
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.statistics:
+        argv.append("--statistics")
+    return lint_main(argv)
+
+
 def _cmd_info(_: argparse.Namespace) -> int:
     print("solvers:    " + ", ".join(sorted(SOLVERS)))
     print("figures:    " + ", ".join(sorted(ALL_FIGURES)))
@@ -264,6 +282,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--rebatch-solver", default="greedy", choices=sorted(SOLVERS)
     )
     simulate.set_defaults(func=_cmd_simulate)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the GEACC-aware static-analysis pass"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument("--select", default=None, metavar="IDS")
+    lint.add_argument("--ignore", default=None, metavar="IDS")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--statistics", action="store_true")
+    lint.set_defaults(func=_cmd_lint)
 
     info = subparsers.add_parser("info", help="list solvers/figures/scales")
     info.set_defaults(func=_cmd_info)

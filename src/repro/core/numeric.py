@@ -1,0 +1,43 @@
+"""Tolerance-aware float comparisons for objective/similarity values.
+
+MaxSum objectives and cosine similarities are sums of float products:
+their exact bit patterns depend on summation order, BLAS kernels and
+FMA availability, so ``a == b`` on two "equal" objectives is a
+platform lottery.  Lint rule R2 bans exact equality in ``core/`` and
+``flow/``; these helpers are the sanctioned replacement.
+
+The default tolerances are far below any similarity gap the paper's
+instances produce (similarities live in [0, 1] with gaps >> 1e-9) and
+far above accumulated rounding noise for the sizes we solve.
+"""
+
+from __future__ import annotations
+
+#: Default relative tolerance for objective comparisons.
+REL_TOL = 1e-9
+#: Default absolute tolerance (matters near 0, e.g. zero-similarity pairs).
+ABS_TOL = 1e-12
+
+
+def close(a: float, b: float, *, rel_tol: float = REL_TOL, abs_tol: float = ABS_TOL) -> bool:
+    """True if ``a`` and ``b`` are equal within tolerance.
+
+    Mirrors :func:`math.isclose` semantics (symmetric relative check
+    plus an absolute floor) with project-wide defaults.
+    """
+    return abs(a - b) <= max(rel_tol * max(abs(a), abs(b)), abs_tol)
+
+
+def strictly_less(a: float, b: float, *, rel_tol: float = REL_TOL, abs_tol: float = ABS_TOL) -> bool:
+    """True if ``a < b`` by more than the comparison tolerance.
+
+    Use for "does this candidate strictly improve the objective?"
+    checks: improvements below tolerance are rounding noise and must
+    not flip tie-breaks.
+    """
+    return b - a > max(rel_tol * max(abs(a), abs(b)), abs_tol)
+
+
+def strictly_greater(a: float, b: float, *, rel_tol: float = REL_TOL, abs_tol: float = ABS_TOL) -> bool:
+    """True if ``a > b`` by more than the comparison tolerance."""
+    return strictly_less(b, a, rel_tol=rel_tol, abs_tol=abs_tol)
