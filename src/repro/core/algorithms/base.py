@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Callable
+from typing import Any
 
 from repro.core.model import Arrangement, Instance
 
 SOLVERS: dict[str, type["Solver"]] = {}
 
 
-def register_solver(name: str):
+def register_solver(name: str) -> Callable[[type["Solver"]], type["Solver"]]:
     """Class decorator adding a solver to the global registry."""
 
     def decorate(cls: type["Solver"]) -> type["Solver"]:
@@ -22,7 +24,7 @@ def register_solver(name: str):
     return decorate
 
 
-def get_solver(name: str, **kwargs) -> "Solver":
+def get_solver(name: str, **kwargs: Any) -> "Solver":
     """Instantiate a registered solver by name.
 
     Args:
