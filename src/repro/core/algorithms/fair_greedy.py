@@ -70,7 +70,10 @@ class FairGreedyGEACC(Solver):
                 continue
             if arrangement.user_remaining(u) <= 0:
                 continue
-            if satisfaction[u] != seen_satisfaction:
+            # Exact inequality is intended: seen_satisfaction is a
+            # bit-for-bit copy of satisfaction[u] at push time, so any
+            # difference -- however small -- means the entry is stale.
+            if satisfaction[u] != seen_satisfaction:  # geacc-lint: disable=R2
                 # Stale priority: recompute and re-queue.
                 priority = float(sims[v, u]) / (1.0 + fairness * satisfaction[u])
                 heapq.heappush(heap, (-priority, v, u, float(satisfaction[u])))
