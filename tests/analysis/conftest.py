@@ -1,0 +1,22 @@
+"""Helpers for the geacc-lint test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Diagnostic, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint(
+    target: Path, select: list[str] | None = None, ignore: list[str] | None = None
+) -> list[Diagnostic]:
+    """Run the linter on one fixture file/tree."""
+    return run_lint([target], select=select, ignore=ignore)
+
+
+def hits(findings: list[Diagnostic]) -> list[tuple[str, int]]:
+    """Compress findings to sorted (rule_id, line) pairs for asserts."""
+    return sorted((d.rule_id, d.line) for d in findings)

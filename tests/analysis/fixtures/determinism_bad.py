@@ -1,0 +1,15 @@
+"""R1 bad fixture: every flavour of hidden-global-state randomness."""
+
+import random
+
+import numpy as np
+from random import shuffle  # noqa: F401  (line 6: R1 import)
+from numpy.random import rand  # noqa: F401  (line 7: R1 import)
+
+
+def sample_users(n):
+    pool = random.sample(range(n), 3)  # line 11: R1 stdlib call
+    np.random.seed(42)  # line 12: R1 legacy global call
+    noise = np.random.rand(n)  # line 13: R1 legacy global call
+    rng = np.random.default_rng()  # line 14: R1 unseeded default_rng
+    return pool, noise, rng

@@ -1,0 +1,13 @@
+"""R1 good fixture: explicitly seeded Generators threaded by argument."""
+
+import numpy as np
+
+
+def sample_users(n: int, seed: int) -> tuple:
+    rng = np.random.default_rng(seed)
+    other = np.random.default_rng(seed=seed + 1)
+    return rng.permutation(n), other.integers(0, n)
+
+
+def shuffle_in_place(items: list, rng: np.random.Generator) -> None:
+    rng.shuffle(items)

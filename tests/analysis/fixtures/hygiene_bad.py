@@ -1,0 +1,17 @@
+"""R5 bad fixture: mutable defaults and a bare except."""
+
+
+def extend(history=[]):  # line 4: R5 mutable default
+    history.append(1)
+    return history
+
+
+def merge(mapping={}, extras=dict()):  # line 9: R5 x2 (both defaults)
+    return {**mapping, **extras}
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except:  # line 16: R5 bare except
+        return None

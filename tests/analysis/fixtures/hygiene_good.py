@@ -1,0 +1,18 @@
+"""R5 good fixture: None defaults, concrete exception types."""
+
+
+def extend(history=None):
+    history = [] if history is None else history
+    history.append(1)
+    return history
+
+
+def merge(mapping=None, extras=None):
+    return {**(mapping or {}), **(extras or {})}
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except (ValueError, KeyError):
+        return None

@@ -1,0 +1,26 @@
+"""R4 bad fixture: set-order-dependent heap pushes and keyed tie-breaks."""
+
+import heapq
+
+
+def build_heap(candidates, sims):
+    heap = []
+    for v in set(candidates):  # line 8: R4 set feeds heappush
+        heapq.heappush(heap, (-sims[v], v))
+    return heap
+
+
+def seed_heap(pairs):
+    heap = []
+    entries = [pair for pair in {(0, 1), (1, 2)}]  # line 15: R4 comprehension
+    for entry in entries:
+        heapq.heappush(heap, entry)
+    return heap
+
+
+def pick_best(scores):
+    return max(scores.values(), key=abs)  # line 22: R4 keyed max over values()
+
+
+def rank(found):
+    return sorted({x for x in found}, key=str)  # line 26: R4 keyed sort of set

@@ -1,0 +1,19 @@
+"""R4 good fixture: tie-break inputs are index-ordered before use."""
+
+import heapq
+
+
+def build_heap(candidates, sims):
+    heap = []
+    for v in sorted(set(candidates)):  # ordered before feeding the heap
+        heapq.heappush(heap, (-sims[v], v))
+    return heap
+
+
+def pick_best(scores):
+    # Keyed tie-break over an index-ordered sequence is deterministic.
+    return max(sorted(scores.items()), key=lambda kv: kv[1])
+
+
+def rank(found):
+    return sorted(found)  # no key: total order over distinct elements

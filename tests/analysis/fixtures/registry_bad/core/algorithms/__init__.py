@@ -1,0 +1,3 @@
+from .dup import GreedyA
+
+__all__ = ["GreedyA"]

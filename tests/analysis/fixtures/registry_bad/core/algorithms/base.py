@@ -1,0 +1,16 @@
+"""Miniature solver registry mirroring repro.core.algorithms.base."""
+
+SOLVERS = {}
+
+
+def register_solver(name):
+    def decorate(cls):
+        SOLVERS[name] = cls
+        return cls
+
+    return decorate
+
+
+class Solver:
+    def solve(self, instance):
+        raise NotImplementedError

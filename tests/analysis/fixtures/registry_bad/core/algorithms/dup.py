@@ -1,0 +1,15 @@
+"""Two solvers claiming the same registry name."""
+
+from .base import Solver, register_solver
+
+
+@register_solver("greedy")
+class GreedyA(Solver):  # line 7: clean (registered, imported, exported)
+    def solve(self, instance):
+        return None
+
+
+@register_solver("greedy")
+class GreedyB(Solver):  # line 13: R3 duplicate name (+ unimported, unexported)
+    def solve(self, instance):
+        return None

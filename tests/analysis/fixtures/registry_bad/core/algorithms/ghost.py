@@ -1,0 +1,8 @@
+"""A solver that silently falls out of the registry."""
+
+from .base import Solver
+
+
+class GhostSolver(Solver):  # line 6: R3 x3 (unregistered, unimported, unexported)
+    def solve(self, instance):
+        return None

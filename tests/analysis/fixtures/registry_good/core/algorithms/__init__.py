@@ -1,0 +1,3 @@
+from .solvers import Arranger
+
+__all__ = ["Arranger"]

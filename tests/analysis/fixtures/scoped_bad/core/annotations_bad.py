@@ -1,0 +1,13 @@
+"""R5 bad fixture (lives under core/): unannotated public API."""
+
+
+def similarity(event, user):  # line 4: R5 params + R5 return
+    return 0.0
+
+
+class Accumulator:
+    def value(self):  # line 9: R5 return annotation missing
+        return 1.0
+
+    def _internal(self, x):  # private: not flagged
+        return x

@@ -1,0 +1,11 @@
+"""R2 bad fixture (lives under core/): exact float equality on objectives."""
+
+
+def same_objective(max_sum_a, max_sum_b):
+    return max_sum_a == max_sum_b  # line 5: R2
+
+
+def stale(sims, u, v, best_score):
+    if sims[u][v] != best_score:  # line 9: R2
+        return 0.5 == sims[u][v]  # line 10: R2 (float literal operand)
+    return u == v  # int identity comparison: not flagged

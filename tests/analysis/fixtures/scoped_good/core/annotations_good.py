@@ -1,0 +1,16 @@
+"""R5 good fixture: fully annotated public API under core/."""
+
+
+def similarity(event: int, user: int) -> float:
+    return 0.0
+
+
+class Accumulator:
+    def __init__(self, start: float = 0.0) -> None:
+        self._total = start
+
+    def value(self) -> float:
+        return self._total
+
+    def _internal(self, x):  # private helpers are exempt
+        return x

@@ -1,0 +1,72 @@
+"""The geacc-lint console entry point and the `geacc lint` subcommand."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.cli import main as geacc_main
+from tests.analysis.conftest import FIXTURES
+
+
+def test_exit_zero_on_clean_tree(capsys: pytest.CaptureFixture) -> None:
+    code = lint_main([str(FIXTURES / "determinism_good.py")])
+    assert code == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_exit_one_with_diagnostics_on_findings(capsys: pytest.CaptureFixture) -> None:
+    code = lint_main([str(FIXTURES / "determinism_bad.py"), "--select", "R1"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "determinism_bad.py:14:" in out
+    assert "R1" in out
+
+
+def test_statistics_footer(capsys: pytest.CaptureFixture) -> None:
+    code = lint_main(
+        [str(FIXTURES / "hygiene_bad.py"), "--select", "R5", "--statistics"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "4 finding(s)" in out
+    assert "R5: 4" in out
+
+
+def test_list_rules(capsys: pytest.CaptureFixture) -> None:
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+        assert rule_id in out
+
+
+def test_unknown_rule_id_is_a_usage_error(capsys: pytest.CaptureFixture) -> None:
+    code = lint_main([str(FIXTURES / "determinism_good.py"), "--select", "R9"])
+    assert code == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_empty_select_is_a_usage_error(capsys: pytest.CaptureFixture) -> None:
+    # --select "" would otherwise run zero rules and report any tree clean.
+    code = lint_main([str(FIXTURES / "determinism_bad.py"), "--select", ""])
+    assert code == 2
+    assert "names no rules" in capsys.readouterr().err
+
+
+def test_ignore_flag(capsys: pytest.CaptureFixture) -> None:
+    code = lint_main(
+        [str(FIXTURES / "determinism_bad.py"), "--ignore", "R1,R5"]
+    )
+    assert code == 0
+
+
+def test_geacc_lint_subcommand(capsys: pytest.CaptureFixture) -> None:
+    bad = geacc_main(["lint", str(FIXTURES / "hygiene_bad.py"), "--select", "R5"])
+    assert bad == 1
+    good = geacc_main(["lint", str(FIXTURES / "hygiene_good.py")])
+    assert good == 0
+
+
+def test_geacc_lint_subcommand_list_rules(capsys: pytest.CaptureFixture) -> None:
+    assert geacc_main(["lint", "--list-rules"]) == 0
+    assert "R3" in capsys.readouterr().out

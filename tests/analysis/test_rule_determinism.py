@@ -1,0 +1,26 @@
+"""R1: unseeded / global-state randomness is flagged; seeded Generators pass."""
+
+from tests.analysis.conftest import FIXTURES, hits, lint
+
+
+def test_bad_fixture_fires_on_every_global_rng_use() -> None:
+    findings = lint(FIXTURES / "determinism_bad.py", select=["R1"])
+    assert hits(findings) == [
+        ("R1", 6),   # from random import shuffle
+        ("R1", 7),   # from numpy.random import rand
+        ("R1", 11),  # random.sample(...)
+        ("R1", 12),  # np.random.seed(42)
+        ("R1", 13),  # np.random.rand(n)
+        ("R1", 14),  # np.random.default_rng() without a seed
+    ]
+
+
+def test_messages_point_at_the_generator_api() -> None:
+    findings = lint(FIXTURES / "determinism_bad.py", select=["R1"])
+    unseeded = [d for d in findings if d.line == 14]
+    assert len(unseeded) == 1
+    assert "seed" in unseeded[0].message
+
+
+def test_good_fixture_is_silent_under_all_rules() -> None:
+    assert lint(FIXTURES / "determinism_good.py") == []

@@ -1,0 +1,28 @@
+"""R2: exact float equality in core//flow/ is flagged; tolerance helpers pass."""
+
+from tests.analysis.conftest import FIXTURES, hits, lint
+from repro.core.numeric import close, strictly_greater, strictly_less
+
+
+def test_bad_fixture_fires_on_each_float_comparison() -> None:
+    findings = lint(FIXTURES / "scoped_bad", select=["R2"])
+    assert hits(findings) == [("R2", 5), ("R2", 9), ("R2", 10)]
+    assert all(d.path.endswith("core/floats_bad.py") for d in findings)
+
+
+def test_rule_is_scoped_to_core_and_flow() -> None:
+    # The same comparisons outside core// flow/ are not this rule's business.
+    findings = lint(FIXTURES / "scoped_bad" / "core" / "floats_bad.py", select=["R2"])
+    assert findings == []  # linted as a bare file, the core/ scope is gone
+
+
+def test_good_fixture_is_silent_under_all_rules() -> None:
+    assert lint(FIXTURES / "scoped_good") == []
+
+
+def test_numeric_helpers_behave() -> None:
+    assert close(0.1 + 0.2, 0.3)
+    assert not close(0.3, 0.30001)
+    assert strictly_less(1.0, 1.1)
+    assert not strictly_less(1.0, 1.0 + 1e-15)
+    assert strictly_greater(2.0, 1.0)

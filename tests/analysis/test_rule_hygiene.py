@@ -1,0 +1,36 @@
+"""R5: mutable defaults, bare excepts, and unannotated core API."""
+
+from tests.analysis.conftest import FIXTURES, hits, lint
+
+
+def test_bad_fixture_fires_on_defaults_and_bare_except() -> None:
+    findings = lint(FIXTURES / "hygiene_bad.py", select=["R5"])
+    assert hits(findings) == [
+        ("R5", 4),   # history=[]
+        ("R5", 9),   # mapping={}
+        ("R5", 9),   # extras=dict()
+        ("R5", 16),  # bare except
+    ]
+
+
+def test_annotation_check_applies_under_core_only() -> None:
+    findings = lint(FIXTURES / "scoped_bad", select=["R5"])
+    annotations = [d for d in findings if d.path.endswith("annotations_bad.py")]
+    assert hits(annotations) == [
+        ("R5", 4),  # similarity(): unannotated params
+        ("R5", 4),  # similarity(): missing return annotation
+        ("R5", 9),  # Accumulator.value(): missing return annotation
+    ]
+    # The same unannotated defs outside core/ are not flagged.
+    assert lint(FIXTURES / "hygiene_good.py", select=["R5"]) == []
+
+
+def test_annotation_message_lists_parameter_names() -> None:
+    findings = lint(FIXTURES / "scoped_bad", select=["R5"])
+    param_findings = [d for d in findings if "unannotated parameter" in d.message]
+    assert any("event, user" in d.message for d in param_findings)
+
+
+def test_good_fixtures_are_silent_under_all_rules() -> None:
+    assert lint(FIXTURES / "hygiene_good.py") == []
+    assert lint(FIXTURES / "scoped_good") == []

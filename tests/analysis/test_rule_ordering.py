@@ -1,0 +1,26 @@
+"""R4: set iteration feeding heaps / keyed tie-breaks is flagged."""
+
+from tests.analysis.conftest import FIXTURES, hits, lint
+
+
+def test_bad_fixture_fires_on_heap_feeds_and_keyed_tiebreaks() -> None:
+    findings = lint(FIXTURES / "ordering_bad.py", select=["R4"])
+    assert hits(findings) == [
+        ("R4", 8),   # for v in set(...) feeding heappush
+        ("R4", 15),  # comprehension over a set literal in a heap-pushing fn
+        ("R4", 22),  # max(dict.values(), key=...)
+        ("R4", 26),  # sorted({...}, key=...)
+    ]
+
+
+def test_heap_feed_message_names_the_function() -> None:
+    findings = lint(FIXTURES / "ordering_bad.py", select=["R4"])
+    heap_feed = [d for d in findings if d.line == 8]
+    assert len(heap_feed) == 1
+    assert "build_heap()" in heap_feed[0].message
+
+
+def test_good_fixture_is_silent_under_all_rules() -> None:
+    # sorted(set(...)) without a key and keyed tie-breaks over
+    # index-ordered sequences are both fine.
+    assert lint(FIXTURES / "ordering_good.py") == []

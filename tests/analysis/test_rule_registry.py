@@ -1,0 +1,34 @@
+"""R3: solver-registry completeness over a miniature core/algorithms tree."""
+
+from tests.analysis.conftest import FIXTURES, lint
+
+
+def test_bad_tree_flags_ghost_and_duplicate_solvers() -> None:
+    findings = lint(FIXTURES / "registry_bad", select=["R3"])
+    by_file: dict[str, list[str]] = {}
+    for diag in findings:
+        by_file.setdefault(diag.path.rsplit("/", 1)[-1], []).append(diag.message)
+
+    ghost = by_file.pop("ghost.py")
+    assert len(ghost) == 3
+    assert any("lacks @register_solver" in m for m in ghost)
+    assert any("never runs" in m for m in ghost)
+    assert any("__all__" in m for m in ghost)
+    assert all(d.line == 6 for d in findings if d.path.endswith("ghost.py"))
+
+    dup = by_file.pop("dup.py")
+    assert len(dup) == 3  # duplicate name + unimported + unexported, all GreedyB
+    assert any("already registered" in m for m in dup)
+    assert all(d.line == 13 for d in findings if d.path.endswith("dup.py"))
+
+    assert by_file == {}  # GreedyA and base.py are clean
+
+
+def test_good_tree_is_silent() -> None:
+    # Abstract intermediates are exempt; the registered, imported,
+    # exported concrete solver satisfies the rule.
+    assert lint(FIXTURES / "registry_good", select=["R3"]) == []
+
+
+def test_rule_skips_trees_without_the_solver_package() -> None:
+    assert lint(FIXTURES / "scoped_good", select=["R3"]) == []

@@ -1,0 +1,16 @@
+"""Acceptance gate: the shipped tree lints clean under its own rules.
+
+This is the executable form of "geacc-lint src/repro exits 0": any PR
+that introduces unseeded randomness, exact float objective equality,
+an unregistered solver, a set-fed tie-break, or untyped core API fails
+tier-1 here, not just in CI.
+"""
+
+from repro.analysis import run_lint
+from tests.analysis.conftest import REPO_ROOT
+
+
+def test_src_repro_lints_clean() -> None:
+    findings = run_lint([REPO_ROOT / "src" / "repro"])
+    rendered = "\n".join(d.render() for d in findings)
+    assert findings == [], f"geacc-lint findings:\n{rendered}"
