@@ -2,13 +2,27 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-paper examples report clean
+.PHONY: install test lint typecheck check bench bench-smoke bench-paper examples report clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
+# Tier-1 tests stay dependency-free and fast: `test` deliberately does
+# NOT depend on lint/typecheck (CI runs all three as separate jobs).
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.cli --statistics src/repro
+
+typecheck:
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy --config-file pyproject.toml; \
+	else \
+		echo "mypy not installed; run: pip install -e '.[lint]'"; \
+	fi
+
+check: lint typecheck test
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
