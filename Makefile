@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check bench bench-smoke bench-paper examples report clean
+.PHONY: install test test-robustness lint typecheck check bench bench-smoke bench-paper examples report clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -11,6 +11,10 @@ install:
 # NOT depend on lint/typecheck (CI runs all three as separate jobs).
 test:
 	$(PYTHON) -m pytest tests/
+
+# The anytime-harness fault-injection suite on its own (CI smoke step).
+test-robustness:
+	$(PYTHON) -m pytest tests/robustness -q
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.cli --statistics src/repro

@@ -18,7 +18,10 @@ or depends on:
   the simulated Meetup city datasets of Table II
   (:mod:`repro.datasets`);
 * the experiment harness regenerating every figure
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* the anytime robustness harness -- execution budgets, the
+  ``optimal | feasible-timeout | failed`` outcome taxonomy, and the
+  degradation ladder (:mod:`repro.robustness`, ``docs/robustness.md``).
 
 Quickstart::
 
@@ -50,9 +53,19 @@ from repro.core.analysis import ArrangementStats, analyze
 from repro.datagen.synthetic import SyntheticConfig, generate_instance
 from repro.datasets.meetup import MeetupCityConfig, meetup_city
 from repro.exceptions import (
+    BudgetExceededError,
     InfeasibleArrangementError,
     InvalidInstanceError,
     ReproError,
+    SolverFailedError,
+)
+from repro.robustness import (
+    Budget,
+    FailureRecord,
+    Outcome,
+    SolveResult,
+    run_with_budget,
+    solve_with_ladder,
 )
 
 __version__ = "1.0.0"
@@ -86,5 +99,13 @@ __all__ = [
     "ReproError",
     "InvalidInstanceError",
     "InfeasibleArrangementError",
+    "BudgetExceededError",
+    "SolverFailedError",
+    "Budget",
+    "Outcome",
+    "SolveResult",
+    "FailureRecord",
+    "run_with_budget",
+    "solve_with_ladder",
     "__version__",
 ]

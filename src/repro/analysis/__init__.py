@@ -14,6 +14,8 @@ invariants the reproduction's numbers depend on:
   pushes or keyed tie-breaks.
 * **R5 API hygiene** -- no mutable default arguments or bare excepts;
   public ``repro.core`` functions fully annotated.
+* **R6 time API** -- no wall-clock ``time.time()``; budget deadlines
+  use ``time.monotonic()``, durations ``time.perf_counter()``.
 
 Architecture: one rule = one class (:mod:`repro.analysis.rules`),
 registered in a table (:mod:`repro.analysis.registry`), driven by a

@@ -10,6 +10,7 @@ from repro.analysis.rules.floats import FloatComparisonRule
 from repro.analysis.rules.hygiene import ApiHygieneRule
 from repro.analysis.rules.ordering import OrderingSafetyRule
 from repro.analysis.rules.solver_registry import SolverRegistryRule
+from repro.analysis.rules.timeapi import TimeApiRule
 
 __all__ = [
     "DeterminismRule",
@@ -17,4 +18,5 @@ __all__ = [
     "SolverRegistryRule",
     "OrderingSafetyRule",
     "ApiHygieneRule",
+    "TimeApiRule",
 ]

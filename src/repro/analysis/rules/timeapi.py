@@ -1,0 +1,93 @@
+"""R6 -- time API: no wall-clock ``time.time()`` in library code.
+
+Budget deadlines and reported running times must survive NTP slews,
+daylight-saving jumps and manual clock changes. ``time.time()`` is the
+*wall* clock -- it can move backwards -- so an elapsed-time or deadline
+computation built on it can mis-fire by hours (the anytime harness would
+either never preempt a solver or kill it instantly). The sanctioned
+clocks are ``time.monotonic()`` for deadlines (what
+:class:`repro.robustness.budget.Budget` uses) and
+``time.perf_counter()`` for duration measurements; ``time.time()`` is
+acceptable only for human-facing timestamps, which library code under
+``src/repro`` has no business producing.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ParsedModule
+from repro.analysis.registry import Rule, register_rule
+
+
+@register_rule
+class TimeApiRule(Rule):
+    """Flag wall-clock time.time() where a monotonic clock is required."""
+
+    rule_id = "R6"
+    title = "no time.time(): use time.monotonic() / time.perf_counter()"
+    rationale = (
+        "wall clocks can jump backwards (NTP, DST); budgets and timings built "
+        "on time.time() silently mis-fire -- deadlines need time.monotonic()"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        time_aliases = _time_module_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, time_aliases)
+
+    def _check_import_from(
+        self, module: ParsedModule, node: ast.ImportFrom
+    ) -> Iterator[Diagnostic]:
+        if node.module != "time":
+            return
+        for alias in node.names:
+            if alias.name == "time":
+                bound = alias.asname or alias.name
+                yield _diag(
+                    module, node,
+                    f"from time import time (bound as {bound!r}): wall-clock "
+                    "time can jump backwards; import monotonic or perf_counter "
+                    "instead",
+                )
+
+    def _check_call(
+        self, module: ParsedModule, node: ast.Call, time_aliases: set[str]
+    ) -> Iterator[Diagnostic]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if len(parts) == 2 and parts[0] in time_aliases and parts[1] == "time":
+            yield _diag(
+                module, node,
+                f"call to wall-clock {dotted}(): deadlines and durations must "
+                "use time.monotonic() or time.perf_counter()",
+            )
+
+
+def _time_module_aliases(tree: ast.Module) -> set[str]:
+    """Names bound to the time module (``import time as t``)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    aliases.add(alias.asname or "time")
+    return aliases
+
+
+def _diag(module: ParsedModule, node: ast.AST, message: str) -> Diagnostic:
+    return Diagnostic(
+        path=module.display_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule_id=TimeApiRule.rule_id,
+        message=message,
+    )

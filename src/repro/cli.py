@@ -9,7 +9,17 @@ Subcommands:
   and save it (``.json`` or ``.npz``) for later ``solve --input`` runs.
 * ``geacc experiment`` -- run one of the paper's figure drivers and print
   its series (see ``repro.experiments.figures``).
+* ``geacc sweep`` -- run a figure driver with crash-safe JSONL
+  checkpointing; ``--resume`` continues a killed sweep without
+  re-running finished cells (see ``docs/robustness.md``).
 * ``geacc info`` -- list registered solvers, figures and scales.
+
+``geacc solve`` accepts ``--timeout`` / ``--node-budget``: solvers then
+run under the anytime harness and report their outcome (``optimal`` /
+``feasible-timeout`` / ``failed``). Exit codes follow the usual Unix
+conventions: 0 on success, 1 when a solver failed outright, 124 (the GNU
+``timeout`` convention) when every solver answered but at least one only
+reached its budget-limited best-so-far.
 * ``geacc lint`` -- run the GEACC-aware static-analysis pass (also
   available as the ``geacc-lint`` console script; see
   ``docs/static-analysis.md``).
@@ -29,6 +39,11 @@ from repro.datasets.scenarios import SCENARIOS, build_scenario
 from repro.experiments.config import SCALES
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.metrics import measure
+from repro.robustness import Outcome, run_with_budget
+
+#: Exit code when a budgeted solve only reached its anytime best-so-far
+#: (mirrors GNU ``timeout``).
+EXIT_TIMEOUT = 124
 
 
 def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
@@ -92,23 +107,63 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     else:
         instance = _build_instance(args)
     print(instance)
+    budgeted = args.timeout is not None or args.node_budget is not None
     best = None
+    timed_out = False
+    failed = False
     for name in args.algorithms:
-        solver = get_solver(name)
-        run = measure(lambda: solver.solve(instance), memory=args.memory)
-        validate_arrangement(run.result)
-        memory_text = f"  peak={run.peak_mb:.1f}MB" if run.peak_mb is not None else ""
-        print(
-            f"{name:12s}  MaxSum={run.result.max_sum():10.3f}  "
-            f"|M|={len(run.result):6d}  time={run.seconds:.3f}s{memory_text}"
-        )
-        if best is None or run.result.max_sum() > best.max_sum():
-            best = run.result
+        if budgeted:
+            run = measure(
+                lambda: run_with_budget(
+                    name,
+                    instance,
+                    timeout=args.timeout,
+                    node_limit=args.node_budget,
+                ),
+                memory=args.memory,
+            )
+            result = run.result
+            if result.outcome is Outcome.FAILED:
+                failed = True
+                errors = "; ".join(
+                    f"{f.error_type}: {f.message}" for f in result.failures
+                )
+                print(f"{name:12s}  FAILED  ({errors})")
+                continue
+            if result.outcome is Outcome.FEASIBLE_TIMEOUT:
+                timed_out = True
+            memory_text = (
+                f"  peak={run.peak_mb:.1f}MB" if run.peak_mb is not None else ""
+            )
+            print(
+                f"{name:12s}  MaxSum={result.max_sum():10.3f}  "
+                f"|M|={len(result.arrangement):6d}  time={result.seconds:.3f}s"
+                f"  outcome={result.outcome}{memory_text}"
+            )
+            arrangement = result.arrangement
+        else:
+            solver = get_solver(name)
+            run = measure(lambda: solver.solve(instance), memory=args.memory)
+            validate_arrangement(run.result)
+            memory_text = (
+                f"  peak={run.peak_mb:.1f}MB" if run.peak_mb is not None else ""
+            )
+            print(
+                f"{name:12s}  MaxSum={run.result.max_sum():10.3f}  "
+                f"|M|={len(run.result):6d}  time={run.seconds:.3f}s{memory_text}"
+            )
+            arrangement = run.result
+        if best is None or arrangement.max_sum() > best.max_sum():
+            best = arrangement
     if args.output and best is not None:
         from repro.io import save_arrangement_json
 
         save_arrangement_json(best, args.output)
         print(f"best arrangement written to {args.output}")
+    if failed:
+        return 1
+    if timed_out:
+        return EXIT_TIMEOUT
     return 0
 
 
@@ -134,6 +189,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     else:
         print(result.render())
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import inspect
+
+    driver = ALL_FIGURES[args.figure]
+    parameters = inspect.signature(driver).parameters
+    if "checkpoint_path" not in parameters:
+        print(
+            f"error: figure {args.figure} does not support checkpointing",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs: dict = {
+        "checkpoint_path": args.checkpoint,
+        "resume": args.resume,
+    }
+    if args.solvers:
+        if "solvers" not in parameters:
+            print(
+                f"error: figure {args.figure} has a fixed solver set",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["solvers"] = tuple(args.solvers)
+    result = driver(args.scale, **kwargs)
+    print(result.render())
+    return 1 if result.failures else 0
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -219,6 +302,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--memory", action="store_true", help="also measure peak memory"
     )
     solve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per algorithm (anytime: best-so-far on expiry; "
+        "exit 124 when any algorithm only reached its budgeted best)",
+    )
+    solve.add_argument(
+        "--node-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on checkpointed work units per algorithm",
+    )
+    solve.add_argument(
         "--input", default=None, help="load the instance from a .json/.npz file"
     )
     solve.add_argument(
@@ -248,6 +346,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="render bar charts instead of tables (sweep figures only)",
     )
     experiment.set_defaults(func=_cmd_experiment)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a figure sweep with crash-safe checkpointing"
+    )
+    sweep.add_argument("figure", choices=sorted(ALL_FIGURES))
+    sweep.add_argument(
+        "--checkpoint",
+        required=True,
+        metavar="PATH",
+        help="JSONL file that records every finished cell",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already completed in the checkpoint file",
+    )
+    sweep.add_argument(
+        "--scale", choices=sorted(SCALES), default=None, help="parameter scale"
+    )
+    sweep.add_argument(
+        "--solvers",
+        nargs="+",
+        default=None,
+        choices=sorted(SOLVERS),
+        help="override the figure's solver set",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     reproduce = subparsers.add_parser(
         "reproduce", help="run every table/figure and write one report"

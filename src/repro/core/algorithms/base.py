@@ -4,9 +4,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Callable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.model import Arrangement, Instance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (no runtime cycle)
+    from repro.robustness.budget import Budget
 
 SOLVERS: dict[str, type["Solver"]] = {}
 
@@ -44,13 +47,32 @@ class Solver(ABC):
 
     Solvers are stateless across calls (construct once, solve many
     instances); any per-solve state lives inside :meth:`solve`.
+
+    **Budget contract (anytime semantics).** ``solve`` accepts an
+    optional cooperative :class:`~repro.robustness.budget.Budget`. A
+    budget-aware solver must (a) call ``budget.checkpoint()`` once per
+    unit of work in its hot loop, (b) catch the resulting
+    :class:`~repro.exceptions.BudgetExceededError` *inside* ``solve``,
+    and (c) return its feasible best-so-far arrangement instead of
+    raising. The solver's intermediate state must therefore stay
+    feasible at every checkpoint. Solvers that ignore the budget remain
+    correct -- they just cannot be preempted; the harness
+    (:mod:`repro.robustness.harness`) degrades an escaped exhaustion to
+    the empty arrangement.
     """
 
     name: str = "abstract"
 
     @abstractmethod
-    def solve(self, instance: Instance) -> Arrangement:
-        """Return a feasible arrangement for ``instance``."""
+    def solve(self, instance: Instance, budget: "Budget | None" = None) -> Arrangement:
+        """Return a feasible arrangement for ``instance``.
+
+        Args:
+            instance: The GEACC instance.
+            budget: Optional cooperative execution budget; on exhaustion
+                the solver returns its feasible best-so-far (see class
+                docstring).
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

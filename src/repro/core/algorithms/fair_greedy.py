@@ -23,11 +23,16 @@ greedy with decaying keys. It remains deterministic.
 from __future__ import annotations
 
 import heapq
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.algorithms.base import Solver, register_solver
 from repro.core.model import Arrangement, Instance
+from repro.exceptions import BudgetExceededError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.budget import Budget
 
 
 @register_solver("fair-greedy")
@@ -45,7 +50,7 @@ class FairGreedyGEACC(Solver):
             raise ValueError(f"fairness must be >= 0, got {fairness}")
         self._fairness = fairness
 
-    def solve(self, instance: Instance) -> Arrangement:
+    def solve(self, instance: Instance, budget: "Budget | None" = None) -> Arrangement:
         arrangement = Arrangement(instance)
         if instance.n_events == 0 or instance.n_users == 0:
             return arrangement
@@ -64,7 +69,14 @@ class FairGreedyGEACC(Solver):
                 heapq.heappush(heap, (-row[u], v, u, 0.0))
 
         fairness = self._fairness
+        # One checkpoint per pop; the arrangement grows monotonically and
+        # is feasible after every add, so exhaustion returns it as-is.
         while heap:
+            if budget is not None:
+                try:
+                    budget.checkpoint()
+                except BudgetExceededError:
+                    return arrangement
             neg_priority, v, u, seen_satisfaction = heapq.heappop(heap)
             if arrangement.event_remaining(v) <= 0:
                 continue

@@ -21,11 +21,16 @@ keeps the node's frontier pointing at them until they are popped
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.core.algorithms.base import Solver, register_solver
 from repro.core.algorithms.neighbors import NeighborOrders, neighbor_orders_for
 from repro.core.model import Arrangement, Instance
+from repro.exceptions import BudgetExceededError
 from repro.index.pairheap import CandidatePairHeap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.budget import Budget
 
 
 class _Cursor:
@@ -73,19 +78,29 @@ class GreedyGEACC(Solver):
     def __init__(self, index_kind: str | None = None) -> None:
         self._index_kind = index_kind
 
-    def solve(self, instance: Instance) -> Arrangement:
+    def solve(self, instance: Instance, budget: "Budget | None" = None) -> Arrangement:
         orders = neighbor_orders_for(instance, self._index_kind)
-        return self._run(instance, orders)
+        return self._run(instance, orders, budget)
 
-    def solve_with_orders(self, instance: Instance, orders: NeighborOrders) -> Arrangement:
+    def solve_with_orders(
+        self,
+        instance: Instance,
+        orders: NeighborOrders,
+        budget: "Budget | None" = None,
+    ) -> Arrangement:
         """Solve with a caller-provided neighbour-order provider.
 
         Prune-GEACC reuses this to share one provider between its greedy
         warm start and its own NN scans.
         """
-        return self._run(instance, orders)
+        return self._run(instance, orders, budget)
 
-    def _run(self, instance: Instance, orders: NeighborOrders) -> Arrangement:
+    def _run(
+        self,
+        instance: Instance,
+        orders: NeighborOrders,
+        budget: "Budget | None" = None,
+    ) -> Arrangement:
         arrangement = Arrangement(instance)
         heap = CandidatePairHeap()
         visited: set[tuple[int, int]] = set()
@@ -105,7 +120,14 @@ class GreedyGEACC(Solver):
         # Iteration (lines 11-23). Saturated nodes' cursors are closed
         # eagerly so their stream state (index scans, sorted columns) is
         # released -- at scalability sizes that is most of the footprint.
+        # One checkpoint per pop; every intermediate arrangement is
+        # feasible, so on exhaustion the current matching is the answer.
         while heap:
+            if budget is not None:
+                try:
+                    budget.checkpoint()
+                except BudgetExceededError:
+                    return arrangement
             v, u, sim = heap.pop()
             visited.add((v, u))
             if sim > 0 and arrangement.can_add(v, u):

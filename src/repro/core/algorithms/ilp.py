@@ -21,11 +21,19 @@ timing reported separately), as recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.algorithms.base import Solver, register_solver
 from repro.core.model import Arrangement, Instance
-from repro.exceptions import ReproError
+from repro.exceptions import BudgetExceededError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.budget import Budget
+
+#: Smallest time limit handed to HiGHS; 0 would mean "unlimited" there.
+_MIN_TIME_LIMIT = 1e-3
 
 
 @register_solver("ilp")
@@ -34,9 +42,16 @@ class ILPGEACC(Solver):
 
     Requires scipy (a test-extra dependency). Intended for small and
     medium instances where an exact optimum is needed reliably.
+
+    Budgets are honoured two ways: cooperative checkpoints while the
+    constraint matrix is built (one per conflict row), and the remaining
+    deadline forwarded to HiGHS as its ``time_limit`` option. When HiGHS
+    stops on the limit its integral incumbent (if any) is returned as
+    the best-so-far; pairs are re-checked with ``can_add`` so the
+    reported arrangement is feasible even if the incumbent is not.
     """
 
-    def solve(self, instance: Instance) -> Arrangement:
+    def solve(self, instance: Instance, budget: "Budget | None" = None) -> Arrangement:
         try:
             from scipy.optimize import Bounds, LinearConstraint, milp
             from scipy.sparse import lil_matrix
@@ -61,37 +76,58 @@ class ILPGEACC(Solver):
         )
         matrix = lil_matrix((n_rows, n_vars))
         upper = np.zeros(n_rows)
-        for i, (v, u) in enumerate(zip(events, users)):
-            matrix[v, i] = 1.0
-            matrix[instance.n_events + u, i] = 1.0
-        upper[: instance.n_events] = instance.event_capacities
-        upper[instance.n_events : instance.n_events + instance.n_users] = (
-            instance.user_capacities
-        )
-        row = instance.n_events + instance.n_users
-        for vi, vj in conflict_pairs:
-            for u in range(instance.n_users):
-                hit = False
-                for v in (vi, vj):
-                    i = var_of.get((v, u))
-                    if i is not None:
-                        matrix[row, i] = 1.0
-                        hit = True
-                if hit:
-                    upper[row] = 1.0
-                    row += 1
+        try:
+            for i, (v, u) in enumerate(zip(events, users)):
+                matrix[v, i] = 1.0
+                matrix[instance.n_events + u, i] = 1.0
+            upper[: instance.n_events] = instance.event_capacities
+            upper[instance.n_events : instance.n_events + instance.n_users] = (
+                instance.user_capacities
+            )
+            row = instance.n_events + instance.n_users
+            for vi, vj in conflict_pairs:
+                if budget is not None:
+                    budget.checkpoint()
+                for u in range(instance.n_users):
+                    hit = False
+                    for v in (vi, vj):
+                        i = var_of.get((v, u))
+                        if i is not None:
+                            matrix[row, i] = 1.0
+                            hit = True
+                    if hit:
+                        upper[row] = 1.0
+                        row += 1
+        except BudgetExceededError:
+            # Out of budget before the model even existed: the empty
+            # arrangement is the only feasible best-so-far available.
+            return arrangement
         matrix = matrix[:row].tocsc()
         upper = upper[:row]
 
+        options: dict[str, float] = {}
+        if budget is not None:
+            remaining = budget.remaining_seconds()
+            if remaining is not None:
+                options["time_limit"] = max(remaining, _MIN_TIME_LIMIT)
         result = milp(
             c=-sims[events, users],
             constraints=LinearConstraint(matrix, ub=upper),
             integrality=np.ones(n_vars),
             bounds=Bounds(0, 1),
+            options=options,
         )
         if not result.success:
-            raise ReproError(f"MILP solve failed: {result.message}")
+            timed_out = result.status == 1  # iteration / time limit reached
+            if timed_out and budget is not None:
+                budget.mark_exhausted("HiGHS time_limit reached")
+            if not timed_out:
+                raise ReproError(f"MILP solve failed: {result.message}")
+            if result.x is None:
+                return arrangement  # no incumbent: empty feasible floor
         chosen = np.round(result.x).astype(bool)
         for v, u in zip(events[chosen], users[chosen]):
-            arrangement.add(int(v), int(u))
+            v, u = int(v), int(u)
+            if result.success or arrangement.can_add(v, u):
+                arrangement.add(v, u)
         return arrangement

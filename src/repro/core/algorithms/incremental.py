@@ -18,11 +18,16 @@ algorithms on identical instances.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.algorithms.base import Solver, register_solver
 from repro.core.model import Arrangement, Instance
+from repro.exceptions import BudgetExceededError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.budget import Budget
 
 
 class OnlineArranger:
@@ -85,13 +90,21 @@ class OnlineGreedyGEACC(Solver):
     def __init__(self, arrival_order: Sequence[int] | None = None) -> None:
         self._arrival_order = arrival_order
 
-    def solve(self, instance: Instance) -> Arrangement:
+    def solve(self, instance: Instance, budget: "Budget | None" = None) -> Arrangement:
         order = (
             self._arrival_order
             if self._arrival_order is not None
             else range(instance.n_users)
         )
         arranger = OnlineArranger(instance)
-        for user in order:
-            arranger.arrive(int(user))
+        # One checkpoint per arrival; assignments are never revoked, so
+        # on exhaustion the arrangement over the arrived prefix is the
+        # (feasible) anytime answer.
+        try:
+            for user in order:
+                if budget is not None:
+                    budget.checkpoint()
+                arranger.arrive(int(user))
+        except BudgetExceededError:
+            pass
         return arranger.arrangement

@@ -17,10 +17,16 @@ each base solver leaves.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.algorithms.base import Solver, get_solver, register_solver
 from repro.core.model import Arrangement, Instance
+from repro.exceptions import BudgetExceededError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.budget import Budget
 
 
 @register_solver("local-search")
@@ -37,23 +43,37 @@ class LocalSearchGEACC(Solver):
         self._base = get_solver(base) if isinstance(base, str) else base
         self._max_rounds = max_rounds
 
-    def solve(self, instance: Instance) -> Arrangement:
-        return self.improve(self._base.solve(instance))
+    def solve(self, instance: Instance, budget: "Budget | None" = None) -> Arrangement:
+        return self.improve(self._base.solve(instance, budget), budget)
 
-    def improve(self, arrangement: Arrangement) -> Arrangement:
-        """Run add/swap sweeps on a copy of ``arrangement`` to a fixed point."""
+    def improve(
+        self, arrangement: Arrangement, budget: "Budget | None" = None
+    ) -> Arrangement:
+        """Run add/swap sweeps on a copy of ``arrangement`` to a fixed point.
+
+        Every accepted move preserves feasibility, so on budget
+        exhaustion the partially-improved copy is returned as-is (its
+        MaxSum is monotonically non-decreasing in the number of moves).
+        """
         current = arrangement.copy()
-        for _ in range(self._max_rounds):
-            improved = self._sweep_adds(current)
-            improved |= self._sweep_swaps(current)
-            if not improved:
-                break
+        try:
+            for _ in range(self._max_rounds):
+                improved = self._sweep_adds(current, budget)
+                improved |= self._sweep_swaps(current, budget)
+                if not improved:
+                    break
+        except BudgetExceededError:
+            pass
         return current
 
-    def _sweep_adds(self, arrangement: Arrangement) -> bool:
+    def _sweep_adds(
+        self, arrangement: Arrangement, budget: "Budget | None" = None
+    ) -> bool:
         instance = arrangement.instance
         improved = False
         for u in range(instance.n_users):
+            if budget is not None:
+                budget.checkpoint()
             if arrangement.user_remaining(u) <= 0:
                 continue
             sims = instance.sim_col(u)
@@ -68,11 +88,15 @@ class LocalSearchGEACC(Solver):
                     improved = True
         return improved
 
-    def _sweep_swaps(self, arrangement: Arrangement) -> bool:
+    def _sweep_swaps(
+        self, arrangement: Arrangement, budget: "Budget | None" = None
+    ) -> bool:
         instance = arrangement.instance
         conflicts = instance.conflicts
         improved = False
         for u in range(instance.n_users):
+            if budget is not None:
+                budget.checkpoint()
             matched = sorted(arrangement.events_of(u))
             if not matched:
                 continue

@@ -23,13 +23,19 @@ benchmark compares the two).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.algorithms.base import Solver, register_solver
 from repro.core.model import Arrangement, Instance
+from repro.exceptions import BudgetExceededError
 from repro.flow.dense_bipartite import DenseBipartiteMinCostFlow
 from repro.flow.network import FlowNetwork
 from repro.flow.sspa import SuccessiveShortestPaths
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.budget import Budget
 
 _COST_EPS = 1e-12
 
@@ -53,55 +59,79 @@ class MinCostFlowGEACC(Solver):
         self._engine = engine
         self._full_sweep = full_sweep
 
-    def solve(self, instance: Instance) -> Arrangement:
-        relaxed_pairs = self.solve_relaxation(instance)
+    def solve(self, instance: Instance, budget: "Budget | None" = None) -> Arrangement:
+        relaxed_pairs = self.solve_relaxation(instance, budget)
         return self._resolve_conflicts(instance, relaxed_pairs)
 
     # ------------------------------------------------------------------
     # Step 1: optimal matching for the conflict-free relaxation
     # ------------------------------------------------------------------
 
-    def solve_relaxation(self, instance: Instance) -> list[tuple[int, int]]:
+    def solve_relaxation(
+        self, instance: Instance, budget: "Budget | None" = None
+    ) -> list[tuple[int, int]]:
         """Return ``M_0``: the optimal conflict-free matching's pairs.
 
         Only pairs with ``sim > 0`` are reported (flow routed through
         zero-similarity arcs pads Delta without contributing to MaxSum).
+
+        Anytime: one budget checkpoint per Delta-sweep augmentation. On
+        exhaustion the flow routed so far is returned -- a prefix of the
+        sweep, i.e. the optimal conflict-free matching at a smaller
+        Delta -- and step 2 repairs it into a feasible arrangement.
         """
         if self._engine == "dense":
-            return self._relaxation_dense(instance)
-        return self._relaxation_generic(instance)
+            return self._relaxation_dense(instance, budget)
+        return self._relaxation_generic(instance, budget)
 
-    def _relaxation_dense(self, instance: Instance) -> list[tuple[int, int]]:
+    def _relaxation_dense(
+        self, instance: Instance, budget: "Budget | None" = None
+    ) -> list[tuple[int, int]]:
         sims = instance.sims
         solver = DenseBipartiteMinCostFlow(
             1.0 - sims, instance.event_capacities, instance.user_capacities
         )
-        solver.run(stop_cost=1.0 - _COST_EPS)
-        if self._full_sweep:
-            # Literal Algorithm 1: keep sweeping to Delta_max. Marginal
-            # costs are non-decreasing, so every further unit has cost
-            # >= 1 and cannot improve MaxSum; we verify that by tracking
-            # the best prefix, which provably is where we already stopped.
-            best_delta = solver.total_flow
-            best_maxsum = best_delta - solver.total_cost
+        try:
+            # One unit per iteration (the per-Delta sweep of Algorithm 1)
+            # so the budget is consulted between augmentations.
             while True:
-                cost = solver.augment()
-                if cost is None:
+                if budget is not None:
+                    budget.checkpoint()
+                if solver.run(amount=1, stop_cost=1.0 - _COST_EPS) == 0:
                     break
-                maxsum = solver.total_flow - solver.total_cost
-                if maxsum > best_maxsum + _COST_EPS:
-                    best_maxsum = maxsum
-                    best_delta = solver.total_flow
-            if best_delta != solver.total_flow:
-                # Re-route exactly best_delta units on a fresh network.
-                solver = DenseBipartiteMinCostFlow(
-                    1.0 - sims, instance.event_capacities, instance.user_capacities
-                )
-                solver.run(amount=best_delta)
+            if self._full_sweep:
+                # Literal Algorithm 1: keep sweeping to Delta_max. Marginal
+                # costs are non-decreasing, so every further unit has cost
+                # >= 1 and cannot improve MaxSum; we verify that by tracking
+                # the best prefix, which provably is where we already stopped.
+                best_delta = solver.total_flow
+                best_maxsum = best_delta - solver.total_cost
+                while True:
+                    if budget is not None:
+                        budget.checkpoint()
+                    cost = solver.augment()
+                    if cost is None:
+                        break
+                    maxsum = solver.total_flow - solver.total_cost
+                    if maxsum > best_maxsum + _COST_EPS:
+                        best_maxsum = maxsum
+                        best_delta = solver.total_flow
+                if best_delta != solver.total_flow:
+                    # Re-route exactly best_delta units on a fresh network.
+                    solver = DenseBipartiteMinCostFlow(
+                        1.0 - sims, instance.event_capacities, instance.user_capacities
+                    )
+                    solver.run(amount=best_delta)
+        except BudgetExceededError:
+            # The flow matrix after any whole augmentation is a valid
+            # integral flow; fall through and report it.
+            pass
         events, users = np.nonzero(solver.flow & (sims > 0))
         return list(zip(events.tolist(), users.tolist()))
 
-    def _relaxation_generic(self, instance: Instance) -> list[tuple[int, int]]:
+    def _relaxation_generic(
+        self, instance: Instance, budget: "Budget | None" = None
+    ) -> list[tuple[int, int]]:
         sims = instance.sims
         network = FlowNetwork()
         source = network.add_node()
@@ -120,7 +150,18 @@ class MinCostFlowGEACC(Solver):
         for u in range(instance.n_users):
             network.add_arc(user_nodes[u], sink, int(instance.user_capacities[u]))
         solver = SuccessiveShortestPaths(network, source, sink)
-        solver.run(stop_when=lambda cost: cost >= 1.0 - _COST_EPS)
+
+        def stop_when(cost: float) -> bool:
+            # Called once before each augmentation: exactly the per-Delta
+            # checkpoint cadence the budget contract asks for.
+            if budget is not None:
+                budget.checkpoint()
+            return cost >= 1.0 - _COST_EPS
+
+        try:
+            solver.run(stop_when=stop_when)
+        except BudgetExceededError:
+            pass  # arcs hold a valid partial flow (a sweep prefix)
         return [
             (v, u)
             for arc, (v, u) in middle_arcs.items()

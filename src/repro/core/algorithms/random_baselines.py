@@ -9,10 +9,16 @@ have positive interestingness).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.algorithms.base import Solver, register_solver
 from repro.core.model import Arrangement, Instance
+from repro.exceptions import BudgetExceededError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robustness.budget import Budget
 
 
 @register_solver("random-v")
@@ -27,19 +33,26 @@ class RandomV(Solver):
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
 
-    def solve(self, instance: Instance) -> Arrangement:
+    def solve(self, instance: Instance, budget: "Budget | None" = None) -> Arrangement:
         rng = np.random.default_rng(self._seed)
         arrangement = Arrangement(instance)
         n_users = instance.n_users
         if n_users == 0:
             return arrangement
-        for v in range(instance.n_events):
-            probability = instance.event_capacities[v] / n_users
-            accept = rng.random(n_users) < probability
-            sims = instance.sim_row(v)
-            for u in np.nonzero(accept)[0]:
-                if sims[u] > 0 and arrangement.can_add(v, int(u)):
-                    arrangement.add(v, int(u))
+        # One checkpoint per event row; the partial arrangement is
+        # feasible at every checkpoint, so exhaustion returns it.
+        try:
+            for v in range(instance.n_events):
+                if budget is not None:
+                    budget.checkpoint()
+                probability = instance.event_capacities[v] / n_users
+                accept = rng.random(n_users) < probability
+                sims = instance.sim_row(v)
+                for u in np.nonzero(accept)[0]:
+                    if sims[u] > 0 and arrangement.can_add(v, int(u)):
+                        arrangement.add(v, int(u))
+        except BudgetExceededError:
+            pass
         return arrangement
 
 
@@ -50,17 +63,22 @@ class RandomU(Solver):
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
 
-    def solve(self, instance: Instance) -> Arrangement:
+    def solve(self, instance: Instance, budget: "Budget | None" = None) -> Arrangement:
         rng = np.random.default_rng(self._seed)
         arrangement = Arrangement(instance)
         n_events = instance.n_events
         if n_events == 0:
             return arrangement
-        for u in range(instance.n_users):
-            probability = instance.user_capacities[u] / n_events
-            accept = rng.random(n_events) < probability
-            sims = instance.sim_col(u)
-            for v in np.nonzero(accept)[0]:
-                if sims[v] > 0 and arrangement.can_add(int(v), u):
-                    arrangement.add(int(v), u)
+        try:
+            for u in range(instance.n_users):
+                if budget is not None:
+                    budget.checkpoint()
+                probability = instance.user_capacities[u] / n_events
+                accept = rng.random(n_events) < probability
+                sims = instance.sim_col(u)
+                for v in np.nonzero(accept)[0]:
+                    if sims[v] > 0 and arrangement.can_add(int(v), u):
+                        arrangement.add(int(v), u)
+        except BudgetExceededError:
+            pass
         return arrangement

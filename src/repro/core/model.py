@@ -126,7 +126,24 @@ class Instance:
 
     @staticmethod
     def _check_capacities(capacities, expected: int, kind: str) -> np.ndarray:
-        capacities = np.asarray(capacities, dtype=np.int64)
+        raw = np.asarray(capacities)
+        if raw.dtype.kind == "f":
+            if not np.all(np.isfinite(raw)):
+                raise InvalidInstanceError(
+                    f"{kind} capacities must be finite (no NaN/inf)"
+                )
+            # Exact comparison on purpose: 3.0 is an integer count spelled
+            # as a float and is accepted; 2.5 is a modelling error and must
+            # not be silently truncated to 2.
+            if np.any(raw != np.floor(raw)):  # geacc-lint: disable=R2
+                raise InvalidInstanceError(
+                    f"{kind} capacities must be integral, got {raw!r}"
+                )
+        elif raw.dtype.kind not in "iub":
+            raise InvalidInstanceError(
+                f"{kind} capacities must be numeric, got dtype {raw.dtype}"
+            )
+        capacities = raw.astype(np.int64)
         if capacities.shape != (expected,):
             raise InvalidInstanceError(
                 f"{kind} capacities must have shape ({expected},), "

@@ -45,13 +45,49 @@ class NegativeCycleError(FlowError):
     """
 
 
-class IndexError_(ReproError):
+class NNIndexError(ReproError):
     """Base class for errors raised by the nearest-neighbour indexes."""
 
 
-class EmptyIndexError(IndexError_):
+#: Deprecated alias for :class:`NNIndexError`.
+#:
+#: The original name shadowed the ``IndexError`` builtin behind a trailing
+#: underscore -- exactly the footgun ``geacc-lint`` exists to flag. Kept
+#: for one release so external ``except IndexError_`` clauses keep
+#: working; new code must catch :class:`NNIndexError`.
+IndexError_ = NNIndexError
+
+
+class EmptyIndexError(NNIndexError):
     """A nearest-neighbour query was issued against an empty index."""
 
 
 class ReductionError(ReproError):
     """The Theorem 1 reduction received a malformed MFCGS instance."""
+
+
+class BudgetExceededError(ReproError):
+    """A cooperative execution budget was exhausted mid-solve.
+
+    Raised by :meth:`repro.robustness.budget.Budget.checkpoint` when the
+    wall-clock deadline passes or the node budget runs out. Budget-aware
+    solvers catch it in their hot loop and return their feasible
+    best-so-far arrangement; the :mod:`repro.robustness.harness` converts
+    that into a ``feasible-timeout`` outcome, so the exception never
+    crosses the harness boundary.
+    """
+
+
+class SolverFailedError(ReproError):
+    """A solver could not produce any feasible arrangement.
+
+    Raised by the robustness harness when a solver errored (or returned
+    an infeasible arrangement) and no degradation rung was left to fall
+    through to. Carries the structured
+    :class:`repro.robustness.outcome.FailureRecord` list on
+    :attr:`failures`.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        super().__init__(message)
+        self.failures = failures

@@ -49,7 +49,13 @@ def _resolve(scale: ExperimentScale | str | None) -> ExperimentScale:
 # ----------------------------------------------------------------------
 
 
-def fig3_vary_events(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Sweep:
+def fig3_vary_events(
+    scale=None,
+    solvers=DEFAULT_SOLVERS,
+    memory=True,
+    checkpoint_path=None,
+    resume=False,
+) -> Sweep:
     """Fig. 3 col 1: sweep |V|, other parameters at defaults."""
     scale = _resolve(scale)
     return sweep_parameter(
@@ -60,10 +66,18 @@ def fig3_vary_events(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Sweep:
         solvers=solvers,
         repeats=scale.repeats,
         memory=memory,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
     )
 
 
-def fig3_vary_users(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Sweep:
+def fig3_vary_users(
+    scale=None,
+    solvers=DEFAULT_SOLVERS,
+    memory=True,
+    checkpoint_path=None,
+    resume=False,
+) -> Sweep:
     """Fig. 3 col 2: sweep |U|."""
     scale = _resolve(scale)
     return sweep_parameter(
@@ -74,10 +88,18 @@ def fig3_vary_users(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Sweep:
         solvers=solvers,
         repeats=scale.repeats,
         memory=memory,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
     )
 
 
-def fig3_vary_dimension(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Sweep:
+def fig3_vary_dimension(
+    scale=None,
+    solvers=DEFAULT_SOLVERS,
+    memory=True,
+    checkpoint_path=None,
+    resume=False,
+) -> Sweep:
     """Fig. 3 col 3: sweep attribute dimensionality d."""
     scale = _resolve(scale)
     return sweep_parameter(
@@ -88,10 +110,18 @@ def fig3_vary_dimension(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Swe
         solvers=solvers,
         repeats=scale.repeats,
         memory=memory,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
     )
 
 
-def fig3_vary_conflicts(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Sweep:
+def fig3_vary_conflicts(
+    scale=None,
+    solvers=DEFAULT_SOLVERS,
+    memory=True,
+    checkpoint_path=None,
+    resume=False,
+) -> Sweep:
     """Fig. 3 col 4: sweep |CF| / (|V|(|V|-1)/2) from 0 to 1."""
     scale = _resolve(scale)
     return sweep_parameter(
@@ -104,6 +134,8 @@ def fig3_vary_conflicts(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Swe
         solvers=solvers,
         repeats=scale.repeats,
         memory=memory,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
     )
 
 
@@ -112,7 +144,13 @@ def fig3_vary_conflicts(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Swe
 # ----------------------------------------------------------------------
 
 
-def fig4_vary_event_capacity(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Sweep:
+def fig4_vary_event_capacity(
+    scale=None,
+    solvers=DEFAULT_SOLVERS,
+    memory=True,
+    checkpoint_path=None,
+    resume=False,
+) -> Sweep:
     """Fig. 4 col 1: c_v ~ Uniform[1, max c_v], sweep max c_v."""
     scale = _resolve(scale)
     return sweep_parameter(
@@ -123,10 +161,18 @@ def fig4_vary_event_capacity(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -
         solvers=solvers,
         repeats=scale.repeats,
         memory=memory,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
     )
 
 
-def fig4_vary_user_capacity(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Sweep:
+def fig4_vary_user_capacity(
+    scale=None,
+    solvers=DEFAULT_SOLVERS,
+    memory=True,
+    checkpoint_path=None,
+    resume=False,
+) -> Sweep:
     """Fig. 4 col 2: c_u ~ Uniform[1, max c_u], sweep max c_u."""
     scale = _resolve(scale)
     return sweep_parameter(
@@ -137,6 +183,8 @@ def fig4_vary_user_capacity(scale=None, solvers=DEFAULT_SOLVERS, memory=True) ->
         solvers=solvers,
         repeats=scale.repeats,
         memory=memory,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
     )
 
 
@@ -151,7 +199,13 @@ DISTRIBUTION_GRID = (
 )
 
 
-def fig4_distributions(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Sweep:
+def fig4_distributions(
+    scale=None,
+    solvers=DEFAULT_SOLVERS,
+    memory=True,
+    checkpoint_path=None,
+    resume=False,
+) -> Sweep:
     """Fig. 4 col 3: attribute/capacity distribution combinations."""
     scale = _resolve(scale)
 
@@ -172,11 +226,18 @@ def fig4_distributions(scale=None, solvers=DEFAULT_SOLVERS, memory=True) -> Swee
         solvers=solvers,
         repeats=scale.repeats,
         memory=memory,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
     )
 
 
 def fig4_real(
-    scale=None, city: str = "auckland", solvers=DEFAULT_SOLVERS, memory=True
+    scale=None,
+    city: str = "auckland",
+    solvers=DEFAULT_SOLVERS,
+    memory=True,
+    checkpoint_path=None,
+    resume=False,
 ) -> Sweep:
     """Fig. 4 col 4: the (simulated) Meetup city, sweeping |CF| ratio."""
     scale = _resolve(scale)
@@ -196,6 +257,8 @@ def fig4_real(
         # (Table II) and MinCostFlow's Delta sweep dominates wall time.
         repeats=max(1, scale.repeats - 1),
         memory=memory,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
     )
 
 
@@ -204,7 +267,9 @@ def fig4_real(
 # ----------------------------------------------------------------------
 
 
-def fig5_scalability(scale=None, memory=True) -> Sweep:
+def fig5_scalability(
+    scale=None, memory=True, checkpoint_path=None, resume=False
+) -> Sweep:
     """Fig. 5a-b: Greedy-GEACC over a |V| x |U| grid (index streams).
 
     Follows the paper: only Greedy (MinCostFlow is not scalable),
@@ -230,10 +295,14 @@ def fig5_scalability(scale=None, memory=True) -> Sweep:
         solvers=("greedy",),
         repeats=max(1, scale.repeats - 1),
         memory=memory,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
     )
 
 
-def fig5_effectiveness(scale=None, memory=False) -> Sweep:
+def fig5_effectiveness(
+    scale=None, memory=False, checkpoint_path=None, resume=False
+) -> Sweep:
     """Fig. 5c-d: approximation quality against the exact optimum.
 
     The paper's configuration: |V|=5, |U|=15, c_v ~ U[1, 10], Table III
@@ -259,6 +328,8 @@ def fig5_effectiveness(scale=None, memory=False) -> Sweep:
         solvers=("mincostflow", "greedy", "ilp"),
         repeats=scale.repeats,
         memory=memory,
+        checkpoint_path=checkpoint_path,
+        resume=resume,
     )
 
 

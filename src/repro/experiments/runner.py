@@ -4,21 +4,56 @@ A sweep varies one workload parameter over a grid, generates ``repeats``
 instances per grid point (different seeds), runs each requested solver,
 validates feasibility of every arrangement, and averages MaxSum / time /
 memory. :class:`Sweep` renders the same rows the paper's figures plot.
+
+Crash safety
+------------
+Long sweeps die for boring reasons (OOM killers, preempted machines,
+Ctrl-C). The runner therefore treats every (grid point, seed, solver)
+triple as an isolated *cell*:
+
+* a cell that raises is caught, classified (:func:`~repro.robustness.
+  outcome.is_transient`), retried a bounded number of times with a fresh
+  instance seed when transient, and finally recorded as a structured
+  failure instead of killing the sweep;
+* with ``checkpoint_path`` set, every finished cell is appended to a
+  JSONL file (header line + one :class:`CellResult` per line, flushed
+  and fsynced) the moment it completes;
+* ``resume=True`` reloads that file and skips every successfully
+  completed cell -- previously written lines are never rewritten, so a
+  killed sweep resumed later produces the identical file and tables
+  while re-running zero finished cells.
+
+``KeyboardInterrupt`` is deliberately *not* caught: it kills the sweep
+between cells, which is exactly the crash the checkpoint protects
+against.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.algorithms import get_solver
 from repro.core.model import Instance
 from repro.core.validation import validate_arrangement
+from repro.exceptions import ReproError
 from repro.experiments.metrics import measure
 from repro.experiments.reporting import format_table
+from repro.robustness.harness import run_with_budget
+from repro.robustness.outcome import FailureRecord, Outcome, is_transient
 
 #: The algorithm set of Fig. 3 / Fig. 4.
 DEFAULT_SOLVERS = ("greedy", "mincostflow", "random-v", "random-u")
+
+#: First line of every sweep checkpoint file (plus the sweep name).
+CHECKPOINT_FORMAT = "geacc-sweep-v1"
+
+#: Instance-seed stride for transient-failure retries. Large and prime so
+#: retry seeds never collide with the sweep's own ``range(repeats)`` seeds.
+RETRY_SEED_STRIDE = 1_000_003
 
 
 @dataclass(frozen=True)
@@ -33,6 +68,169 @@ class Record:
     n_pairs: float
 
 
+def cell_key(x: object, seed: int, solver: str) -> str:
+    """Canonical JSON key of one sweep cell.
+
+    JSON serialisation makes tuples and lists identical, so a key
+    computed from the live grid matches one reloaded from a checkpoint.
+    """
+    return json.dumps([x, seed, solver], sort_keys=True)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One finished (grid point, seed, solver) cell -- the checkpoint unit."""
+
+    x: object
+    seed: int
+    solver: str
+    status: str  # "ok" | "failed"
+    outcome: str  # an Outcome value
+    max_sum: float
+    seconds: float
+    peak_mb: float
+    n_pairs: float
+    attempts: int = 1
+    failures: tuple[FailureRecord, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def key(self) -> str:
+        return cell_key(self.x, self.seed, self.solver)
+
+    def to_json(self) -> dict:
+        return {
+            "x": self.x,
+            "seed": self.seed,
+            "solver": self.solver,
+            "status": self.status,
+            "outcome": self.outcome,
+            "max_sum": self.max_sum,
+            "seconds": self.seconds,
+            "peak_mb": self.peak_mb,
+            "n_pairs": self.n_pairs,
+            "attempts": self.attempts,
+            "failures": [f.to_json() for f in self.failures],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CellResult":
+        return cls(
+            x=data["x"],
+            seed=int(data["seed"]),
+            solver=data["solver"],
+            status=data["status"],
+            outcome=data["outcome"],
+            max_sum=float(data["max_sum"]),
+            seconds=float(data["seconds"]),
+            peak_mb=float(data["peak_mb"]),
+            n_pairs=float(data["n_pairs"]),
+            attempts=int(data.get("attempts", 1)),
+            failures=tuple(
+                FailureRecord.from_json(f) for f in data.get("failures", ())
+            ),
+        )
+
+
+class SweepCheckpoint:
+    """Append-only JSONL checkpoint of a sweep's finished cells.
+
+    Line 1 is a header identifying the format and sweep name; every
+    further line is one :class:`CellResult`. Appends are flushed and
+    fsynced so a cell either fully reached disk or is re-run on resume;
+    a torn final line (crash mid-write) is tolerated by :meth:`load`.
+    """
+
+    def __init__(self, path: str | Path, name: str) -> None:
+        self.path = Path(path)
+        self.name = name
+        #: Byte offset after the last complete line seen by :meth:`load`;
+        #: ``None`` until a load has run.
+        self._good_size: int | None = None
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def reset(self) -> None:
+        """Start a fresh checkpoint file containing only the header."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps({"format": CHECKPOINT_FORMAT, "name": self.name}) + "\n"
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def load(self) -> dict[str, CellResult]:
+        """Completed cells keyed by :func:`cell_key`; {} when absent.
+
+        Raises:
+            ReproError: The file exists but is not a checkpoint of this
+                sweep (wrong format marker or sweep name) -- resuming
+                into it would silently mix unrelated experiments.
+        """
+        if not self.path.exists():
+            return {}
+        cells: dict[str, CellResult] = {}
+        with open(self.path, "rb") as fh:
+            header_line = fh.readline()
+            try:
+                header = json.loads(header_line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ReproError(
+                    f"{self.path} is not a sweep checkpoint (unreadable header)"
+                ) from exc
+            if not isinstance(header, dict) or header.get("format") != CHECKPOINT_FORMAT:
+                raise ReproError(
+                    f"{self.path} is not a {CHECKPOINT_FORMAT} checkpoint"
+                )
+            if header.get("name") != self.name:
+                raise ReproError(
+                    f"{self.path} belongs to sweep {header.get('name')!r}, "
+                    f"not {self.name!r}"
+                )
+            self._good_size = len(header_line)
+            for line in fh:
+                # A line that lacks its newline was cut mid-write even if
+                # it happens to parse -- treat it as torn too.
+                if not line.endswith(b"\n"):
+                    break
+                try:
+                    cell = CellResult.from_json(json.loads(line.decode("utf-8")))
+                except (
+                    UnicodeDecodeError,
+                    json.JSONDecodeError,
+                    KeyError,
+                    TypeError,
+                    ValueError,
+                ):
+                    break  # torn tail from a crash mid-append; re-run from here
+                cells[cell.key()] = cell
+                self._good_size += len(line)
+        return cells
+
+    def truncate_torn_tail(self) -> None:
+        """Drop a torn final line left by a crash mid-append.
+
+        Must run after :meth:`load` and before the first :meth:`append`
+        of a resumed sweep: appending straight after a torn fragment
+        would glue the fragment and the new cell into one corrupt line.
+        """
+        if self._good_size is None or not self.path.exists():
+            return
+        if self.path.stat().st_size > self._good_size:
+            with open(self.path, "rb+") as fh:
+                fh.truncate(self._good_size)
+
+    def append(self, cell: CellResult) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(cell.to_json()) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
 @dataclass
 class Sweep:
     """Results of one parameter sweep (one figure column)."""
@@ -40,6 +238,7 @@ class Sweep:
     name: str
     x_label: str
     records: list[Record] = field(default_factory=list)
+    failures: list[CellResult] = field(default_factory=list)
 
     def solvers(self) -> list[str]:
         seen: list[str] = []
@@ -76,6 +275,23 @@ class Sweep:
                 rows.append(row)
             blocks.append(f"-- {title} --")
             blocks.append(format_table([self.x_label, *solvers], rows))
+        if self.failures:
+            blocks.append(f"-- failed cells ({len(self.failures)}) --")
+            rows = [
+                [
+                    cell.x,
+                    cell.seed,
+                    cell.solver,
+                    cell.attempts,
+                    "; ".join(
+                        f"{f.error_type}: {f.message}" for f in cell.failures
+                    ),
+                ]
+                for cell in self.failures
+            ]
+            blocks.append(
+                format_table([self.x_label, "seed", "solver", "attempts", "errors"], rows)
+            )
         return "\n".join(blocks)
 
 
@@ -97,6 +313,96 @@ def run_solver_on(
     )
 
 
+def run_cell(
+    instance_factory: Callable[[object, int], Instance],
+    x: object,
+    seed: int,
+    solver_name: str,
+    *,
+    memory: bool = True,
+    solver_kwargs: dict | None = None,
+    timeout: float | None = None,
+    node_limit: int | None = None,
+    max_attempts: int = 2,
+) -> CellResult:
+    """Run one sweep cell in isolation; never raises (except BaseException).
+
+    Failures are classified with :func:`is_transient`; transient ones
+    are retried up to ``max_attempts`` times total, each retry
+    regenerating the instance with seed ``seed + RETRY_SEED_STRIDE *
+    attempt`` so a poisoned instance draw cannot wedge the sweep.
+    """
+    failures: list[FailureRecord] = []
+    attempts = 0
+    for attempt in range(max(1, max_attempts)):
+        attempts += 1
+        instance_seed = seed + RETRY_SEED_STRIDE * attempt
+        try:
+            instance = instance_factory(x, instance_seed)
+        except Exception as exc:
+            record = FailureRecord(
+                solver=solver_name,
+                error_type=type(exc).__name__,
+                message=f"instance generation failed: {exc}",
+                transient=is_transient(exc),
+                attempt=attempt,
+            )
+            failures.append(record)
+            if not record.transient:
+                break
+            continue
+        run = measure(
+            lambda: run_with_budget(
+                solver_name,
+                instance,
+                timeout=timeout,
+                node_limit=node_limit,
+                solver_kwargs=solver_kwargs,
+            ),
+            memory=memory,
+        )
+        result = run.result
+        if result.ok:
+            return CellResult(
+                x=x,
+                seed=seed,
+                solver=solver_name,
+                status="ok",
+                outcome=result.outcome.value,
+                max_sum=result.max_sum(),
+                seconds=result.seconds,
+                peak_mb=run.peak_mb if run.peak_mb is not None else 0.0,
+                n_pairs=float(len(result.arrangement)),
+                attempts=attempts,
+                failures=tuple(failures) + result.failures,
+            )
+        failures.extend(
+            FailureRecord(
+                solver=f.solver,
+                error_type=f.error_type,
+                message=f.message,
+                transient=f.transient,
+                attempt=attempt,
+            )
+            for f in result.failures
+        )
+        if not any(f.transient for f in result.failures):
+            break
+    return CellResult(
+        x=x,
+        seed=seed,
+        solver=solver_name,
+        status="failed",
+        outcome=Outcome.FAILED.value,
+        max_sum=0.0,
+        seconds=0.0,
+        peak_mb=0.0,
+        n_pairs=0.0,
+        attempts=attempts,
+        failures=tuple(failures),
+    )
+
+
 def sweep_parameter(
     name: str,
     x_label: str,
@@ -106,6 +412,12 @@ def sweep_parameter(
     repeats: int = 3,
     memory: bool = True,
     solver_kwargs: dict[str, dict] | None = None,
+    *,
+    checkpoint_path: str | Path | None = None,
+    resume: bool = False,
+    timeout: float | None = None,
+    node_limit: int | None = None,
+    max_attempts: int = 2,
 ) -> Sweep:
     """Run ``solvers`` over ``grid``, averaging ``repeats`` seeds per point.
 
@@ -113,35 +425,71 @@ def sweep_parameter(
         instance_factory: ``(grid value, seed) -> Instance``. A fresh
             instance per (point, seed); all solvers at a point share it.
         solver_kwargs: Optional per-solver constructor arguments.
+        checkpoint_path: JSONL file to append each finished cell to
+            (created with a header line; see :class:`SweepCheckpoint`).
+        resume: Reload ``checkpoint_path`` and skip every cell already
+            completed successfully; without it an existing file is
+            overwritten.
+        timeout / node_limit: Per-cell budget forwarded to
+            :func:`~repro.robustness.harness.run_with_budget`; timed-out
+            cells report their anytime best-so-far with outcome
+            ``feasible-timeout`` and still average into the tables.
+        max_attempts: Total tries per cell when failures are transient.
+
+    Cells are visited in deterministic order (grid, then seed, then
+    solver); per (point, solver) the averages cover the successful
+    cells, and cells that exhausted their retries are collected in
+    :attr:`Sweep.failures` instead of poisoning the whole sweep.
     """
     solver_kwargs = solver_kwargs or {}
+    checkpoint: SweepCheckpoint | None = None
+    completed: dict[str, CellResult] = {}
+    if checkpoint_path is not None:
+        checkpoint = SweepCheckpoint(checkpoint_path, name)
+        if resume and checkpoint.exists():
+            completed = checkpoint.load()
+            checkpoint.truncate_torn_tail()
+        else:
+            checkpoint.reset()
+
     sweep = Sweep(name=name, x_label=x_label)
     for x in grid:
-        accumulators = {s: [0.0, 0.0, 0.0, 0.0] for s in solvers}
+        by_solver: dict[str, list[CellResult]] = {s: [] for s in solvers}
         for seed in range(repeats):
-            instance = instance_factory(x, seed)
             for solver_name in solvers:
-                record = run_solver_on(
-                    instance,
-                    solver_name,
-                    memory=memory,
-                    **solver_kwargs.get(solver_name, {}),
-                )
-                acc = accumulators[solver_name]
-                acc[0] += record.max_sum
-                acc[1] += record.seconds
-                acc[2] += record.peak_mb
-                acc[3] += record.n_pairs
+                prior = completed.get(cell_key(x, seed, solver_name))
+                if prior is not None and prior.ok:
+                    cell = prior
+                else:
+                    cell = run_cell(
+                        instance_factory,
+                        x,
+                        seed,
+                        solver_name,
+                        memory=memory,
+                        solver_kwargs=solver_kwargs.get(solver_name),
+                        timeout=timeout,
+                        node_limit=node_limit,
+                        max_attempts=max_attempts,
+                    )
+                    if checkpoint is not None:
+                        checkpoint.append(cell)
+                by_solver[solver_name].append(cell)
         for solver_name in solvers:
-            acc = accumulators[solver_name]
+            cells = by_solver[solver_name]
+            ok_cells = [c for c in cells if c.ok]
+            sweep.failures.extend(c for c in cells if not c.ok)
+            if not ok_cells:
+                continue
+            n = len(ok_cells)
             sweep.records.append(
                 Record(
                     x=x,
                     solver=solver_name,
-                    max_sum=acc[0] / repeats,
-                    seconds=acc[1] / repeats,
-                    peak_mb=acc[2] / repeats,
-                    n_pairs=acc[3] / repeats,
+                    max_sum=sum(c.max_sum for c in ok_cells) / n,
+                    seconds=sum(c.seconds for c in ok_cells) / n,
+                    peak_mb=sum(c.peak_mb for c in ok_cells) / n,
+                    n_pairs=sum(c.n_pairs for c in ok_cells) / n,
                 )
             )
     return sweep

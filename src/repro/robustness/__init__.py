@@ -1,0 +1,46 @@
+"""repro.robustness: budgets, anytime semantics, graceful degradation.
+
+The execution harness that makes every registered solver safe to run
+under a deadline:
+
+* :class:`~repro.robustness.budget.Budget` -- cooperative wall-clock +
+  node budgets, enforced through a ``checkpoint()`` hook threaded into
+  every solver's hot loop;
+* :class:`~repro.robustness.outcome.Outcome` /
+  :class:`~repro.robustness.outcome.SolveResult` -- the
+  ``optimal | feasible-timeout | failed`` taxonomy every budgeted solve
+  ends in;
+* :func:`~repro.robustness.harness.run_with_budget` -- run one solver
+  under a budget, returning its validated best-so-far on timeout;
+* :func:`~repro.robustness.harness.solve_with_ladder` -- the
+  ``prune -> greedy -> random-u`` degradation ladder.
+
+See ``docs/robustness.md`` for the budget model and the crash-safe
+sweep-resume format built on top of this package.
+"""
+
+from repro.robustness.budget import Budget
+from repro.robustness.harness import (
+    DEFAULT_LADDER,
+    raise_on_failure,
+    run_with_budget,
+    solve_with_ladder,
+)
+from repro.robustness.outcome import (
+    FailureRecord,
+    Outcome,
+    SolveResult,
+    is_transient,
+)
+
+__all__ = [
+    "Budget",
+    "DEFAULT_LADDER",
+    "FailureRecord",
+    "Outcome",
+    "SolveResult",
+    "is_transient",
+    "raise_on_failure",
+    "run_with_budget",
+    "solve_with_ladder",
+]

@@ -1,0 +1,152 @@
+"""Outcome taxonomy and structured results for budgeted solves.
+
+Every budgeted solve ends in exactly one of three :class:`Outcome`\\ s:
+
+* ``optimal`` -- the solver ran to completion within its budget. For the
+  exact solvers (``prune``, ``ilp``, ``exhaustive``) the arrangement is
+  a proven optimum; for the approximation algorithms it means "the
+  algorithm terminated normally" (their usual approximation guarantee
+  applies, nothing stronger).
+* ``feasible-timeout`` -- the budget ran out first; the arrangement is
+  the solver's validated best-so-far (possibly empty, always feasible).
+* ``failed`` -- the solver raised, or produced an infeasible
+  arrangement; ``arrangement`` is None and :attr:`SolveResult.failures`
+  says why.
+
+The harness (:mod:`repro.robustness.harness`) guarantees a
+:class:`SolveResult` is always returned -- never an exception -- so
+callers under a per-request deadline can serve *something* on every
+path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.model import Arrangement
+
+
+class Outcome(enum.Enum):
+    """How a budgeted solve ended (see module docstring)."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE_TIMEOUT = "feasible-timeout"
+    FAILED = "failed"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One solver failure, structured for logs and sweep checkpoints.
+
+    Attributes:
+        solver: Registry name (or repr) of the failing solver.
+        error_type: Exception class name (``"RuntimeError"``...).
+        message: ``str(exception)``.
+        transient: Whether a retry with a fresh seed is worth attempting
+            (resource pressure, flaky subprocess) as opposed to a
+            deterministic bug that will fail identically again.
+        attempt: 0-based attempt index that produced this failure.
+    """
+
+    solver: str
+    error_type: str
+    message: str
+    transient: bool = False
+    attempt: int = 0
+
+    def to_json(self) -> dict:
+        """Plain-dict form for JSONL checkpoints."""
+        return {
+            "solver": self.solver,
+            "error_type": self.error_type,
+            "message": self.message,
+            "transient": self.transient,
+            "attempt": self.attempt,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FailureRecord":
+        return cls(
+            solver=data["solver"],
+            error_type=data["error_type"],
+            message=data["message"],
+            transient=bool(data.get("transient", False)),
+            attempt=int(data.get("attempt", 0)),
+        )
+
+
+#: Exception types whose failures are considered transient (worth a
+#: bounded retry with a fresh seed). Everything else -- assertion
+#: failures, invalid instances, infeasible outputs -- is deterministic
+#: and retried at most once only because the sweep regenerates the
+#: instance with a fresh seed.
+TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (MemoryError, OSError)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Heuristic: is this failure worth a retry with a fresh seed?
+
+    Explicitly transient system errors always qualify; generic runtime
+    errors (the classic "flaky dependency" shape) qualify too, while
+    library-level contract violations (``ReproError`` subclasses other
+    than budget exhaustion, ``ValueError``, ``TypeError``,
+    ``AssertionError``) do not -- they would fail identically again.
+    """
+    from repro.exceptions import ReproError
+
+    if isinstance(error, TRANSIENT_ERRORS):
+        return True
+    if isinstance(error, (ReproError, ValueError, TypeError, AssertionError)):
+        return False
+    return isinstance(error, Exception)
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """The harness's answer for one budgeted solve (or ladder of them).
+
+    Attributes:
+        arrangement: Feasible arrangement, or None iff ``outcome`` is
+            ``failed``.
+        outcome: See :class:`Outcome`.
+        solver: Name of the solver that produced ``arrangement`` (for a
+            degradation ladder: the rung that answered; empty string
+            when every rung failed).
+        seconds: Wall time spent (monotonic clock), including failed
+            rungs.
+        nodes: Checkpointed work units accounted by the budget.
+        failures: Structured records of every failed attempt/rung on the
+            way to this result.
+    """
+
+    arrangement: "Arrangement | None"
+    outcome: Outcome
+    solver: str
+    seconds: float
+    nodes: int = 0
+    failures: tuple[FailureRecord, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        """True when a feasible arrangement was produced."""
+        return self.arrangement is not None and self.outcome is not Outcome.FAILED
+
+    def max_sum(self) -> float:
+        """MaxSum of the arrangement (0.0 for a failed result)."""
+        if self.arrangement is None:
+            return 0.0
+        return self.arrangement.max_sum()
+
+    def __repr__(self) -> str:
+        size = len(self.arrangement) if self.arrangement is not None else 0
+        return (
+            f"SolveResult(outcome={self.outcome}, solver={self.solver!r}, "
+            f"|M|={size}, seconds={self.seconds:.3f}, nodes={self.nodes}, "
+            f"failures={len(self.failures)})"
+        )

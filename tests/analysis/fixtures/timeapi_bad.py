@@ -1,0 +1,13 @@
+"""R6 bad fixture: wall-clock time in deadline/duration code."""
+
+import time
+import time as clock
+from time import time  # noqa: F811  (rebinding is the point of the fixture)
+
+
+def deadline_from_wall_clock(seconds: float) -> float:
+    return time.time() + seconds
+
+
+def elapsed(start: float) -> float:
+    return clock.time() - start

@@ -1,0 +1,17 @@
+"""R6 good fixture: monotonic deadlines, perf_counter durations."""
+
+import time
+from time import monotonic, perf_counter
+
+
+def deadline(seconds: float) -> float:
+    return time.monotonic() + seconds
+
+
+def measure_once() -> float:
+    start = perf_counter()
+    return perf_counter() - start
+
+
+def remaining(until: float) -> float:
+    return until - monotonic()

@@ -1,0 +1,22 @@
+"""R6: wall-clock time.time() is flagged; monotonic/perf_counter pass."""
+
+from tests.analysis.conftest import FIXTURES, hits, lint
+
+
+def test_bad_fixture_fires_on_every_wall_clock_use() -> None:
+    findings = lint(FIXTURES / "timeapi_bad.py", select=["R6"])
+    assert hits(findings) == [
+        ("R6", 5),   # from time import time
+        ("R6", 9),   # time.time()
+        ("R6", 13),  # clock.time() via import time as clock
+    ]
+
+
+def test_messages_point_at_the_monotonic_clock() -> None:
+    findings = lint(FIXTURES / "timeapi_bad.py", select=["R6"])
+    assert findings
+    assert all("monotonic" in d.message for d in findings)
+
+
+def test_good_fixture_is_silent_under_r6() -> None:
+    assert lint(FIXTURES / "timeapi_good.py", select=["R6"]) == []

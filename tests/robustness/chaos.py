@@ -1,0 +1,107 @@
+"""Fault-injection helpers: budgets and solvers that misbehave on cue.
+
+None of these are registered in the solver registry -- they are passed
+as instances so the global registry (and every other test) stays clean.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.algorithms.base import Solver, get_solver
+from repro.core.model import Arrangement, Instance
+from repro.robustness.budget import Budget
+
+
+class ChaosBudget(Budget):
+    """A Budget that injects a fault at the Nth checkpoint.
+
+    Args:
+        fail_at: 1-based checkpoint call at which ``error`` is raised
+            (before normal accounting). None = never.
+        error: The exception instance to raise at ``fail_at``.
+        stall_at: 1-based checkpoint call at which to sleep
+            ``stall_seconds`` (simulates a solver stalling mid-loop so a
+            deadline passes while no checkpoint runs).
+    """
+
+    def __init__(
+        self,
+        deadline: float | None = None,
+        node_limit: int | None = None,
+        clock_stride: int = 1,
+        *,
+        fail_at: int | None = None,
+        error: BaseException | None = None,
+        stall_at: int | None = None,
+        stall_seconds: float = 0.0,
+    ) -> None:
+        super().__init__(
+            deadline=deadline, node_limit=node_limit, clock_stride=clock_stride
+        )
+        self.calls = 0
+        self.fail_at = fail_at
+        self.error = error
+        self.stall_at = stall_at
+        self.stall_seconds = stall_seconds
+
+    def checkpoint(self, weight: int = 1) -> None:
+        self.calls += 1
+        if self.stall_at is not None and self.calls == self.stall_at:
+            time.sleep(self.stall_seconds)
+        if self.fail_at is not None and self.calls == self.fail_at:
+            raise self.error if self.error is not None else RuntimeError("chaos")
+        super().checkpoint(weight)
+
+
+class ExplodingSolver(Solver):
+    """A solver that raises ``error`` the moment it is asked to solve."""
+
+    def __init__(self, error: BaseException | None = None) -> None:
+        self._error = error if error is not None else RuntimeError("injected crash")
+
+    def solve(self, instance: Instance, budget: Budget | None = None) -> Arrangement:
+        raise self._error
+
+
+class ChaosSolver(Solver):
+    """Delegate to a real solver through a fault-injecting budget.
+
+    The inner solver sees a :class:`ChaosBudget` that raises/stalls at
+    the Nth of *its* checkpoints while still honouring the outer
+    budget's deadline and node limit (counters are forwarded).
+    """
+
+    def __init__(
+        self,
+        base: str = "greedy",
+        *,
+        fail_at: int | None = None,
+        error: BaseException | None = None,
+        stall_at: int | None = None,
+        stall_seconds: float = 0.0,
+    ) -> None:
+        self._base = get_solver(base) if isinstance(base, str) else base
+        self._fail_at = fail_at
+        self._error = error
+        self._stall_at = stall_at
+        self._stall_seconds = stall_seconds
+
+    def solve(self, instance: Instance, budget: Budget | None = None) -> Arrangement:
+        inner = ChaosBudget(
+            deadline=budget.deadline if budget is not None else None,
+            node_limit=budget.node_limit if budget is not None else None,
+            fail_at=self._fail_at,
+            error=self._error,
+            stall_at=self._stall_at,
+            stall_seconds=self._stall_seconds,
+        )
+        if budget is not None and budget.started:
+            inner.start()
+        try:
+            return self._base.solve(instance, budget=inner)
+        finally:
+            if budget is not None:
+                budget.nodes += inner.nodes
+                if inner.exhausted:
+                    budget.mark_exhausted(inner.exhausted_reason)

@@ -1,0 +1,204 @@
+"""Crash-safe sweeps: checkpointing, resume, retry, cell isolation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datagen.synthetic import SyntheticConfig, generate_instance
+from repro.exceptions import ReproError
+from repro.experiments.runner import (
+    CellResult,
+    SweepCheckpoint,
+    cell_key,
+    run_cell,
+    sweep_parameter,
+)
+
+GRID = (4, 6)
+SOLVERS = ("greedy", "random-u")
+REPEATS = 2
+
+
+class CountingFactory:
+    """Instance factory that counts calls and can inject faults."""
+
+    def __init__(self, explode_on_call: int | None = None,
+                 error: BaseException | None = None):
+        self.calls = 0
+        self.explode_on_call = explode_on_call
+        self.error = error
+
+    def __call__(self, x, seed):
+        self.calls += 1
+        if self.explode_on_call is not None and self.calls == self.explode_on_call:
+            raise self.error if self.error is not None else RuntimeError("boom")
+        config = SyntheticConfig(n_events=x, n_users=15, cv_high=4, cu_high=3)
+        return generate_instance(config, seed)
+
+
+def run_sweep(factory, path=None, resume=False, **kwargs):
+    return sweep_parameter(
+        "resume-test", "|V|", GRID, factory, solvers=SOLVERS,
+        repeats=REPEATS, memory=False, checkpoint_path=path, resume=resume,
+        **kwargs,
+    )
+
+
+def maxsum_table(sweep):
+    return [(r.x, r.solver, r.max_sum, r.n_pairs) for r in sweep.records]
+
+
+class TestCheckpointFile:
+    def test_header_then_one_line_per_cell(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_sweep(CountingFactory(), path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["format"] == "geacc-sweep-v1"
+        assert header["name"] == "resume-test"
+        assert len(lines) == 1 + len(GRID) * REPEATS * len(SOLVERS)
+        cell = CellResult.from_json(json.loads(lines[1]))
+        assert cell.ok
+        assert cell.key() == cell_key(GRID[0], 0, SOLVERS[0])
+
+    def test_wrong_sweep_name_refuses_resume(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_sweep(CountingFactory(), path)
+        with pytest.raises(ReproError, match="belongs to sweep"):
+            sweep_parameter(
+                "a-different-sweep", "|V|", GRID, CountingFactory(),
+                solvers=SOLVERS, repeats=REPEATS, memory=False,
+                checkpoint_path=path, resume=True,
+            )
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ReproError, match="not a sweep checkpoint"):
+            SweepCheckpoint(path, "resume-test").load()
+
+
+class TestResume:
+    def test_resume_skips_completed_cells_byte_for_byte(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        reference = run_sweep(CountingFactory(), path)
+        full_lines = path.read_text().splitlines(keepends=True)
+
+        # Simulate a crash after 3 finished cells (header + 3 lines).
+        killed = tmp_path / "killed.jsonl"
+        killed.write_text("".join(full_lines[:4]))
+
+        factory = CountingFactory()
+        resumed = run_sweep(factory, killed, resume=True)
+
+        # Previously-written lines are untouched, the rest was appended.
+        assert killed.read_text().splitlines(keepends=True)[:4] == full_lines[:4]
+        assert len(killed.read_text().splitlines()) == len(full_lines)
+        # 3 cells skipped -> only the remaining cells regenerate instances.
+        total_cells = len(GRID) * REPEATS * len(SOLVERS)
+        assert factory.calls == total_cells - 3
+        # Deterministic metrics agree with the uninterrupted run.
+        assert maxsum_table(resumed) == maxsum_table(reference)
+
+    def test_resume_of_complete_checkpoint_runs_zero_cells(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_sweep(CountingFactory(), path)
+        before = path.read_bytes()
+        factory = CountingFactory()
+        run_sweep(factory, path, resume=True)
+        assert factory.calls == 0
+        assert path.read_bytes() == before
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_sweep(CountingFactory(), path)
+        text = path.read_text()
+        # Crash mid-append: the last line is half-written.
+        path.write_text(text[: len(text) - 20])
+        factory = CountingFactory()
+        resumed = run_sweep(factory, path, resume=True)
+        assert factory.calls == 1  # only the torn cell re-ran
+        assert maxsum_table(resumed) == maxsum_table(run_sweep(CountingFactory()))
+        # The torn fragment was truncated before appending, so the healed
+        # file is wholly parseable again (no fragment+cell glued line)
+        # and a second resume trusts every line.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + len(GRID) * REPEATS * len(SOLVERS)
+        for line in lines:
+            json.loads(line)
+        factory = CountingFactory()
+        run_sweep(factory, path, resume=True)
+        assert factory.calls == 0
+
+    def test_keyboard_interrupt_is_not_swallowed(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        factory = CountingFactory(
+            explode_on_call=4, error=KeyboardInterrupt()
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(factory, path)
+        # The three finished cells reached disk before the interrupt...
+        assert len(path.read_text().splitlines()) == 1 + 3
+        # ...and a resume finishes the job with identical tables.
+        resumed = run_sweep(CountingFactory(), path, resume=True)
+        assert maxsum_table(resumed) == maxsum_table(run_sweep(CountingFactory()))
+
+    def test_without_resume_existing_checkpoint_is_overwritten(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_sweep(CountingFactory(), path)
+        factory = CountingFactory()
+        run_sweep(factory, path)
+        assert factory.calls == len(GRID) * REPEATS * len(SOLVERS)
+
+
+class TestCellIsolation:
+    def test_transient_failure_retries_with_fresh_seed(self):
+        factory = CountingFactory(explode_on_call=1, error=MemoryError("oom"))
+        cell = run_cell(factory, 4, 0, "greedy", memory=False)
+        assert cell.ok
+        assert cell.attempts == 2
+        assert cell.failures[0].error_type == "MemoryError"
+        assert cell.failures[0].transient
+
+    def test_deterministic_failure_does_not_retry(self):
+        factory = CountingFactory(explode_on_call=1, error=ValueError("bad config"))
+        cell = run_cell(factory, 4, 0, "greedy", memory=False, max_attempts=3)
+        assert not cell.ok
+        assert cell.attempts == 1
+        assert not cell.failures[0].transient
+
+    def test_exhausted_retries_record_every_attempt(self):
+        class AlwaysOOM:
+            def __call__(self, x, seed):
+                raise MemoryError("oom forever")
+
+        cell = run_cell(AlwaysOOM(), 4, 0, "greedy", memory=False, max_attempts=3)
+        assert not cell.ok
+        assert cell.attempts == 3
+        assert [f.attempt for f in cell.failures] == [0, 1, 2]
+
+    def test_failed_cells_do_not_poison_the_sweep(self, tmp_path):
+        # Cell 2 fails deterministically; the other cells still average.
+        factory = CountingFactory(explode_on_call=2, error=ValueError("bad"))
+        sweep = run_sweep(factory, tmp_path / "ckpt.jsonl")
+        assert len(sweep.failures) == 1
+        assert sweep.failures[0].status == "failed"
+        total_cells = len(GRID) * REPEATS * len(SOLVERS)
+        ok_records = {(r.x, r.solver) for r in sweep.records}
+        assert len(ok_records) == len(GRID) * len(SOLVERS)
+        assert factory.calls == total_cells
+        assert "failed cells" in sweep.render()
+
+    def test_budgeted_sweep_tags_timeouts_but_still_averages(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        sweep = sweep_parameter(
+            "budgeted", "|V|", (6,), CountingFactory(), solvers=("prune",),
+            repeats=1, memory=False, checkpoint_path=path, node_limit=5,
+        )
+        assert not sweep.failures
+        assert len(sweep.records) == 1
+        cells = SweepCheckpoint(path, "budgeted").load()
+        (cell,) = cells.values()
+        assert cell.outcome == "feasible-timeout"

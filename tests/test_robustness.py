@@ -26,15 +26,28 @@ class TestMalformedInstances:
                 attrs, np.zeros((2, 2)), np.array([1]), np.array([1, 1])
             )
 
-    def test_float_capacities_truncate_consistently(self):
-        # Integer coercion must not silently create capacity where the
-        # caller passed fractional garbage; numpy truncates, we document
-        # by asserting the truncation (int64 cast).
+    def test_fractional_capacities_rejected(self):
+        # Fractional capacities are a modelling error; truncating them
+        # silently (the old int64-cast behaviour) hid real bugs.
+        with pytest.raises(InvalidInstanceError, match="integral"):
+            Instance.from_matrix(
+                np.array([[0.5]]), np.array([1.9]), np.array([2.1])
+            )
+
+    def test_integral_float_capacities_accepted(self):
+        # Whole numbers spelled as floats are fine -- only genuinely
+        # fractional values are rejected.
         instance = Instance.from_matrix(
-            np.array([[0.5]]), np.array([1.9]), np.array([2.1])
+            np.array([[0.5]]), np.array([2.0]), np.array([3.0])
         )
-        assert instance.event_capacities[0] == 1
-        assert instance.user_capacities[0] == 2
+        assert instance.event_capacities[0] == 2
+        assert instance.user_capacities[0] == 3
+
+    def test_nan_capacities_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="finite"):
+            Instance.from_matrix(
+                np.array([[0.5]]), np.array([np.nan]), np.array([1.0])
+            )
 
 
 class TestCorruptFiles:
