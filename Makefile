@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-robustness lint typecheck check bench bench-smoke bench-paper examples report clean
+.PHONY: install test test-robustness lint typecheck check bench bench-check bench-figures bench-figures-smoke bench-figures-paper examples report clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,13 +28,23 @@ typecheck:
 
 check: lint typecheck test
 
+# Regenerate the tracked solver baseline (commit the result).
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --output BENCH_solvers.json
+
+# Quick run compared against the committed baseline (the CI gate).
+bench-check:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --quick \
+		--output BENCH_solvers.current.json --compare BENCH_solvers.json
+
+# pytest-benchmark micro-benchmarks (figure-level timings).
+bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-bench-smoke:
+bench-figures-smoke:
 	REPRO_SCALE=smoke $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-bench-paper:
+bench-figures-paper:
 	REPRO_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 examples:
@@ -45,4 +55,5 @@ report:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	rm -f BENCH_solvers.current.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -9,6 +9,7 @@ from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.floats import FloatComparisonRule
 from repro.analysis.rules.hygiene import ApiHygieneRule
 from repro.analysis.rules.ordering import OrderingSafetyRule
+from repro.analysis.rules.parallelism import ParallelismRule
 from repro.analysis.rules.solver_registry import SolverRegistryRule
 from repro.analysis.rules.timeapi import TimeApiRule
 
@@ -19,4 +20,5 @@ __all__ = [
     "OrderingSafetyRule",
     "ApiHygieneRule",
     "TimeApiRule",
+    "ParallelismRule",
 ]

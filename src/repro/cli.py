@@ -11,7 +11,12 @@ Subcommands:
   its series (see ``repro.experiments.figures``).
 * ``geacc sweep`` -- run a figure driver with crash-safe JSONL
   checkpointing; ``--resume`` continues a killed sweep without
-  re-running finished cells (see ``docs/robustness.md``).
+  re-running finished cells (see ``docs/robustness.md``), ``--jobs N``
+  fans cells out to N worker processes (see ``docs/performance.md``),
+  and ``--timeout`` bounds the whole sweep's wall clock.
+* ``geacc bench`` -- time every solver on the reference instance and
+  write a machine-readable ``BENCH_solvers.json``; ``--compare``
+  against a committed baseline gates perf regressions in CI.
 * ``geacc info`` -- list registered solvers, figures and scales.
 
 ``geacc solve`` accepts ``--timeout`` / ``--node-budget``: solvers then
@@ -214,9 +219,69 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
             return 2
         kwargs["solvers"] = tuple(args.solvers)
+    if args.jobs != 1:
+        if "jobs" not in parameters:
+            print(
+                f"error: figure {args.figure} does not support --jobs",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["jobs"] = args.jobs
+    budget = None
+    if args.timeout is not None:
+        if "budget" not in parameters:
+            print(
+                f"error: figure {args.figure} does not support --timeout",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.robustness.budget import Budget
+
+        budget = Budget(deadline=args.timeout)
+        kwargs["budget"] = budget
     result = driver(args.scale, **kwargs)
     print(result.render())
+    if budget is not None and budget.exhausted:
+        print(
+            f"sweep budget exhausted after {budget.elapsed():.1f}s -- "
+            f"rerun with --resume to finish the remaining cells",
+            file=sys.stderr,
+        )
+        return EXIT_TIMEOUT
     return 1 if result.failures else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import (
+        compare_reports,
+        load_report,
+        run_bench,
+        write_report,
+    )
+
+    report = run_bench(
+        solvers=tuple(args.solvers) if args.solvers else None,
+        repeats=args.repeats,
+        quick=args.quick,
+        scale=args.scale,
+    )
+    print(report.render())
+    write_report(report, args.output)
+    print(f"bench report written to {args.output}")
+    if args.compare:
+        baseline = load_report(args.compare)
+        regressions = compare_reports(
+            report, baseline, max_regression=args.max_regression
+        )
+        if regressions:
+            for line in regressions:
+                print(f"regression: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"no solver regressed more than {args.max_regression:g}x "
+            f"against {args.compare}"
+        )
+    return 0
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -372,7 +437,68 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SOLVERS),
         help="override the figure's solver set",
     )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run sweep cells on N worker processes "
+        "(0 = all cores; default 1 = serial)",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sweep-wide wall-clock budget; cells that do not start in "
+        "time are left to a later --resume (exit 124)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    bench = subparsers.add_parser(
+        "bench", help="time every solver and write BENCH_solvers.json"
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_solvers.json",
+        metavar="PATH",
+        help="where to write the JSON report (default: BENCH_solvers.json)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="one repeat per solver on the same reference instance -- fast "
+        "enough for CI, still comparable against a full baseline",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="timing repeats per solver (default: 5, or 1 with --quick)",
+    )
+    bench.add_argument(
+        "--solvers",
+        nargs="+",
+        default=None,
+        choices=sorted(SOLVERS),
+        help="solvers to benchmark (default: the Fig. 3/4 algorithm set)",
+    )
+    bench.add_argument(
+        "--scale", choices=sorted(SCALES), default=None, help="parameter scale"
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="exit 1 if any solver regressed more than --max-regression "
+        "times against this baseline report",
+    )
+    bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        metavar="FACTOR",
+        help="slowdown factor tolerated by --compare (default: 2.0)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     reproduce = subparsers.add_parser(
         "reproduce", help="run every table/figure and write one report"

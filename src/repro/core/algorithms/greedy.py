@@ -21,6 +21,7 @@ keeps the node's frontier pointing at them until they are popped
 from __future__ import annotations
 
 from collections.abc import Iterator
+from itertools import islice
 from typing import TYPE_CHECKING
 
 from repro.core.algorithms.base import Solver, register_solver
@@ -34,23 +35,45 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class _Cursor:
-    """Frontier over one node's descending-similarity neighbour stream."""
+    """Frontier over one node's descending-similarity neighbour stream.
 
-    __slots__ = ("_stream", "current", "done")
+    Candidates are pulled from the stream in geometrically growing
+    chunks (1, 4, 16, then 64 at a time) instead of one ``next()`` per
+    peek: a node whose neighbourhood is dense with visited/infeasible
+    pairs skips through them on a plain list walk instead of resuming a
+    generator per pair. The first pull is deliberately a single item --
+    :meth:`IndexNeighborOrders.user_stream` serves its first neighbour
+    from one argmax and only pays the argsort when a second is demanded,
+    and Algorithm 2's initialisation peeks *every* user's cursor once.
+    """
+
+    __slots__ = ("_stream", "_buffer", "_pos", "_chunk", "current", "done")
+
+    #: Largest single pull; bounds per-cursor buffer memory.
+    CHUNK_CAP = 64
 
     def __init__(self, stream: Iterator[tuple[int, float]]) -> None:
         self._stream = stream
+        self._buffer: list[tuple[int, float]] = []
+        self._pos = 0
+        self._chunk = 1
         self.current: tuple[int, float] | None = None
         self.done = False
 
     def peek(self) -> tuple[int, float] | None:
-        """Current candidate, pulling from the stream when empty."""
+        """Current candidate, pulling a chunk from the stream when empty."""
         if self.done:
             return None
         if self.current is None:
-            self.current = next(self._stream, None)
-            if self.current is None:
-                self.finish()  # releases the exhausted stream's state
+            if self._pos >= len(self._buffer):
+                self._buffer = list(islice(self._stream, self._chunk))
+                self._pos = 0
+                self._chunk = min(self._chunk * 4, self.CHUNK_CAP)
+                if not self._buffer:
+                    self.finish()  # releases the exhausted stream's state
+                    return None
+            self.current = self._buffer[self._pos]
+            self._pos += 1
         return self.current
 
     def skip(self) -> None:
@@ -62,6 +85,8 @@ class _Cursor:
         self.current = None
         self.done = True
         self._stream = iter(())
+        self._buffer = []
+        self._pos = 0
 
 
 @register_solver("greedy")
@@ -152,6 +177,8 @@ class GreedyGEACC(Solver):
     ) -> None:
         """Push {v, v's next feasible unvisited NN} into H if not present."""
         cursor = cursors[v]
+        if cursor.done:
+            return  # v is a finished node; don't touch heap or conflicts
         conflicts = arrangement.instance.conflicts
         while True:
             candidate = cursor.peek()
@@ -170,10 +197,13 @@ class GreedyGEACC(Solver):
                 # Infeasible now implies infeasible forever; skip for good.
                 cursor.skip()
                 continue
-            if not heap.contains(v, u):
-                heap.push(v, u, sim)
-            # Whether pushed or already present, the frontier stays here
-            # until the pair is popped.
+            # A pair ever pushed and no longer in H was popped, and every
+            # popped pair is in `visited` -- so reaching here, push() only
+            # dedups against pairs still sitting in H, which is exactly
+            # the old contains() pre-check in one heap probe. Whether
+            # pushed or already present, the frontier stays here until
+            # the pair is popped.
+            heap.push(v, u, sim)
             return
 
     def _refill_user(
@@ -186,8 +216,10 @@ class GreedyGEACC(Solver):
     ) -> None:
         """Push {u's next feasible unvisited NN, u} into H if not present."""
         cursor = cursors[u]
+        if cursor.done:
+            return
         conflicts = arrangement.instance.conflicts
-        matched = arrangement.events_of(u)
+        matched: frozenset[int] | None = None
         while True:
             candidate = cursor.peek()
             if candidate is None:
@@ -199,11 +231,15 @@ class GreedyGEACC(Solver):
             if (v, u) in visited:
                 cursor.skip()
                 continue
+            if matched is None:
+                # Deferred past the peek: an exhausted stream never pays
+                # for u's matched-event snapshot. The arrangement is
+                # frozen for the duration of the call, so once is enough.
+                matched = arrangement.events_of(u)
             if arrangement.event_remaining(v) <= 0 or conflicts.conflicts_with_any(
                 v, matched
             ):
                 cursor.skip()
                 continue
-            if not heap.contains(v, u):
-                heap.push(v, u, sim)
+            heap.push(v, u, sim)
             return

@@ -72,23 +72,38 @@ class Instance:
         metric: str = "euclidean",
         event_names: list[str] | None = None,
         user_names: list[str] | None = None,
+        *,
+        validate: bool = True,
     ) -> None:
+        """``validate=False`` skips the O(|V|*|U|) value scans.
+
+        Shape and capacity checks (cheap, and load-bearing for every
+        solver) always run; only the finiteness/range scans over the
+        similarity matrix and attribute arrays are elided. Reserved for
+        arrays that already passed validation in this process tree --
+        e.g. rehydrating shared-memory views in sweep workers
+        (:mod:`repro.parallel.sharedmem`).
+        """
         if sims is not None:
             sims = np.asarray(sims, dtype=np.float64)
             if sims.ndim != 2:
                 raise InvalidInstanceError(f"sims must be 2-D, got shape {sims.shape}")
-            if not np.all(np.isfinite(sims)):
-                raise InvalidInstanceError("similarities must be finite (no NaN/inf)")
-            if np.any(sims < 0) or np.any(sims > 1):
-                raise InvalidInstanceError("similarities must lie in [0, 1]")
+            if validate:
+                if not np.all(np.isfinite(sims)):
+                    raise InvalidInstanceError(
+                        "similarities must be finite (no NaN/inf)"
+                    )
+                if np.any(sims < 0) or np.any(sims > 1):
+                    raise InvalidInstanceError("similarities must lie in [0, 1]")
             n_events, n_users = sims.shape
         elif event_attributes is not None and user_attributes is not None:
             event_attributes = np.asarray(event_attributes, dtype=np.float64)
             user_attributes = np.asarray(user_attributes, dtype=np.float64)
             if event_attributes.ndim != 2 or user_attributes.ndim != 2:
                 raise InvalidInstanceError("attribute arrays must be 2-D")
-            if not np.all(np.isfinite(event_attributes)) or not np.all(
-                np.isfinite(user_attributes)
+            if validate and (
+                not np.all(np.isfinite(event_attributes))
+                or not np.all(np.isfinite(user_attributes))
             ):
                 raise InvalidInstanceError("attributes must be finite (no NaN/inf)")
             if event_attributes.shape[1] != user_attributes.shape[1]:
@@ -227,6 +242,28 @@ class Instance:
                 self.event_attributes, self.user_attributes, self.t, self.metric
             )
         return self._sims
+
+    def attach_sims(self, sims: np.ndarray, *, validate: bool = True) -> None:
+        """Adopt a pre-computed similarity matrix instead of materialising.
+
+        The sharing hook: a sweep parent that already paid for the
+        matrix (or mapped it from shared memory) attaches it so every
+        solver on this instance reuses one physical array. With
+        ``validate=False`` the O(|V|*|U|) value scans are skipped; the
+        shape check always runs.
+        """
+        sims = np.asarray(sims, dtype=np.float64)
+        if sims.shape != (self._n_events, self._n_users):
+            raise InvalidInstanceError(
+                f"sims shape {sims.shape} does not match instance "
+                f"({self._n_events}, {self._n_users})"
+            )
+        if validate:
+            if not np.all(np.isfinite(sims)):
+                raise InvalidInstanceError("similarities must be finite (no NaN/inf)")
+            if np.any(sims < 0) or np.any(sims > 1):
+                raise InvalidInstanceError("similarities must lie in [0, 1]")
+        self._sims = sims
 
     def sim(self, event: int, user: int) -> float:
         """Interestingness value of one (event, user) pair."""

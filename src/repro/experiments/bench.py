@@ -1,0 +1,272 @@
+"""Tracked solver benchmark: the repo's machine-readable perf trajectory.
+
+``geacc bench`` times every headline solver on one fixed reference
+instance (the active scale's default synthetic configuration, seed 0)
+and writes ``BENCH_solvers.json``: per-solver wall-clock, nodes
+expanded, MaxSum and outcome. The file is committed, so any change's
+perf impact is one ``geacc bench --compare BENCH_solvers.json`` away --
+CI runs exactly that and fails when a solver slows down more than the
+tolerated factor.
+
+Comparability rules:
+
+* ``--quick`` (the CI mode) changes only the number of timing repeats,
+  never the instance -- a quick run is directly comparable against a
+  full baseline;
+* comparisons use the *minimum* wall-clock over repeats, the standard
+  low-noise estimator for single-process benchmarks;
+* a baseline recorded on a different scale/instance shape is a
+  comparison error, not a pass -- regenerate the baseline when the
+  reference workload changes.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.datagen.synthetic import generate_instance
+from repro.exceptions import ReproError
+from repro.experiments.config import get_scale
+from repro.experiments.reporting import format_table
+from repro.robustness.harness import run_with_budget
+
+#: Format marker of BENCH_*.json reports.
+BENCH_FORMAT = "geacc-bench-v1"
+
+#: The Fig. 3/4 algorithm set -- the solvers whose speed the paper plots.
+DEFAULT_BENCH_SOLVERS = ("greedy", "mincostflow", "random-v", "random-u")
+
+#: Timing repeats of a full run; ``--quick`` drops to 1.
+DEFAULT_REPEATS = 5
+
+#: The fixed instance seed; one workload, comparable across commits.
+BENCH_SEED = 0
+
+
+@dataclass(frozen=True)
+class SolverBench:
+    """One solver's timings on the reference instance."""
+
+    solver: str
+    repeats: int
+    seconds_min: float
+    seconds_mean: float
+    nodes: float
+    max_sum: float
+    n_pairs: float
+    outcome: str
+
+    def to_json(self) -> dict:
+        return {
+            "repeats": self.repeats,
+            "seconds_min": self.seconds_min,
+            "seconds_mean": self.seconds_mean,
+            "nodes": self.nodes,
+            "max_sum": self.max_sum,
+            "n_pairs": self.n_pairs,
+            "outcome": self.outcome,
+        }
+
+    @classmethod
+    def from_json(cls, solver: str, data: dict) -> "SolverBench":
+        return cls(
+            solver=solver,
+            repeats=int(data["repeats"]),
+            seconds_min=float(data["seconds_min"]),
+            seconds_mean=float(data["seconds_mean"]),
+            nodes=float(data["nodes"]),
+            max_sum=float(data["max_sum"]),
+            n_pairs=float(data["n_pairs"]),
+            outcome=str(data["outcome"]),
+        )
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """All solvers' timings plus the workload that produced them."""
+
+    scale: str
+    seed: int
+    n_events: int
+    n_users: int
+    repeats: int
+    python: str
+    results: tuple[SolverBench, ...]
+
+    def result_for(self, solver: str) -> SolverBench | None:
+        for result in self.results:
+            if result.solver == solver:
+                return result
+        return None
+
+    def render(self) -> str:
+        headers = [
+            "solver", "min s", "mean s", "nodes", "MaxSum", "|M|", "outcome",
+        ]
+        rows = [
+            [
+                r.solver,
+                round(r.seconds_min, 4),
+                round(r.seconds_mean, 4),
+                r.nodes,
+                round(r.max_sum, 3),
+                r.n_pairs,
+                r.outcome,
+            ]
+            for r in self.results
+        ]
+        title = (
+            f"== solver bench: scale={self.scale} |V|={self.n_events} "
+            f"|U|={self.n_users} seed={self.seed} repeats={self.repeats} =="
+        )
+        return title + "\n" + format_table(headers, rows)
+
+    def to_json(self) -> dict:
+        return {
+            "format": BENCH_FORMAT,
+            "scale": self.scale,
+            "seed": self.seed,
+            "n_events": self.n_events,
+            "n_users": self.n_users,
+            "repeats": self.repeats,
+            "python": self.python,
+            "solvers": {r.solver: r.to_json() for r in self.results},
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "BenchReport":
+        if not isinstance(data, dict) or data.get("format") != BENCH_FORMAT:
+            raise ReproError(f"not a {BENCH_FORMAT} report")
+        return cls(
+            scale=str(data["scale"]),
+            seed=int(data["seed"]),
+            n_events=int(data["n_events"]),
+            n_users=int(data["n_users"]),
+            repeats=int(data["repeats"]),
+            python=str(data.get("python", "")),
+            results=tuple(
+                SolverBench.from_json(name, entry)
+                for name, entry in sorted(data["solvers"].items())
+            ),
+        )
+
+
+def run_bench(
+    solvers: tuple[str, ...] | None = None,
+    repeats: int | None = None,
+    quick: bool = False,
+    scale: str | None = None,
+    seed: int = BENCH_SEED,
+) -> BenchReport:
+    """Time ``solvers`` on the reference instance of the active scale.
+
+    The similarity matrix is materialised once, before any timing, so
+    every solver is measured on identical footing (the same policy the
+    sweep runner applies to its cell groups).
+    """
+    resolved = get_scale(scale)
+    if solvers is None:
+        solvers = DEFAULT_BENCH_SOLVERS
+    if repeats is None:
+        repeats = 1 if quick else DEFAULT_REPEATS
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    instance = generate_instance(resolved.default, seed)
+    instance.sims  # materialise outside the timed region
+
+    results = []
+    for name in solvers:
+        seconds = []
+        nodes = []
+        last = None
+        for _ in range(repeats):
+            last = run_with_budget(name, instance)
+            if not last.ok:
+                errors = "; ".join(
+                    f"{f.error_type}: {f.message}" for f in last.failures
+                )
+                raise ReproError(f"bench solver {name!r} failed: {errors}")
+            seconds.append(last.seconds)
+            nodes.append(float(last.nodes))
+        assert last is not None and last.arrangement is not None
+        results.append(
+            SolverBench(
+                solver=name,
+                repeats=repeats,
+                seconds_min=min(seconds),
+                seconds_mean=sum(seconds) / len(seconds),
+                nodes=sum(nodes) / len(nodes),
+                max_sum=last.max_sum(),
+                n_pairs=float(len(last.arrangement)),
+                outcome=last.outcome.value,
+            )
+        )
+    return BenchReport(
+        scale=resolved.name,
+        seed=seed,
+        n_events=instance.n_events,
+        n_users=instance.n_users,
+        repeats=repeats,
+        python=platform.python_version(),
+        results=tuple(results),
+    )
+
+
+def write_report(report: BenchReport, path: str | Path) -> None:
+    text = json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+    Path(path).write_text(text, encoding="utf-8")
+
+
+def load_report(path: str | Path) -> BenchReport:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read bench report {path}: {exc}") from exc
+    return BenchReport.from_json(data)
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    max_regression: float = 2.0,
+) -> list[str]:
+    """Regression messages; empty when ``current`` is acceptable.
+
+    A solver regresses when its minimum wall-clock exceeds the
+    baseline's by more than ``max_regression`` times. Solvers present in
+    only one report are ignored (new solver / retired solver), but a
+    baseline from a different workload is itself a finding -- timings
+    from different instances must never be ratioed.
+    """
+    if max_regression <= 0:
+        raise ValueError(f"max_regression must be > 0, got {max_regression}")
+    messages = []
+    if (current.scale, current.seed, current.n_events, current.n_users) != (
+        baseline.scale,
+        baseline.seed,
+        baseline.n_events,
+        baseline.n_users,
+    ):
+        messages.append(
+            "baseline workload mismatch: baseline is "
+            f"scale={baseline.scale} |V|={baseline.n_events} "
+            f"|U|={baseline.n_users} seed={baseline.seed}, current is "
+            f"scale={current.scale} |V|={current.n_events} "
+            f"|U|={current.n_users} seed={current.seed} -- "
+            "regenerate the baseline"
+        )
+        return messages
+    for result in current.results:
+        base = baseline.result_for(result.solver)
+        if base is None or base.seconds_min <= 0:
+            continue
+        ratio = result.seconds_min / base.seconds_min
+        if ratio > max_regression:
+            messages.append(
+                f"{result.solver}: {result.seconds_min:.4f}s vs baseline "
+                f"{base.seconds_min:.4f}s ({ratio:.2f}x > {max_regression:g}x)"
+            )
+    return messages

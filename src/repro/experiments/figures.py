@@ -55,6 +55,8 @@ def fig3_vary_events(
     memory=True,
     checkpoint_path=None,
     resume=False,
+    jobs=1,
+    budget=None,
 ) -> Sweep:
     """Fig. 3 col 1: sweep |V|, other parameters at defaults."""
     scale = _resolve(scale)
@@ -68,6 +70,8 @@ def fig3_vary_events(
         memory=memory,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        jobs=jobs,
+        budget=budget,
     )
 
 
@@ -77,6 +81,8 @@ def fig3_vary_users(
     memory=True,
     checkpoint_path=None,
     resume=False,
+    jobs=1,
+    budget=None,
 ) -> Sweep:
     """Fig. 3 col 2: sweep |U|."""
     scale = _resolve(scale)
@@ -90,6 +96,8 @@ def fig3_vary_users(
         memory=memory,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        jobs=jobs,
+        budget=budget,
     )
 
 
@@ -99,6 +107,8 @@ def fig3_vary_dimension(
     memory=True,
     checkpoint_path=None,
     resume=False,
+    jobs=1,
+    budget=None,
 ) -> Sweep:
     """Fig. 3 col 3: sweep attribute dimensionality d."""
     scale = _resolve(scale)
@@ -112,6 +122,8 @@ def fig3_vary_dimension(
         memory=memory,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        jobs=jobs,
+        budget=budget,
     )
 
 
@@ -121,6 +133,8 @@ def fig3_vary_conflicts(
     memory=True,
     checkpoint_path=None,
     resume=False,
+    jobs=1,
+    budget=None,
 ) -> Sweep:
     """Fig. 3 col 4: sweep |CF| / (|V|(|V|-1)/2) from 0 to 1."""
     scale = _resolve(scale)
@@ -136,6 +150,8 @@ def fig3_vary_conflicts(
         memory=memory,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        jobs=jobs,
+        budget=budget,
     )
 
 
@@ -150,6 +166,8 @@ def fig4_vary_event_capacity(
     memory=True,
     checkpoint_path=None,
     resume=False,
+    jobs=1,
+    budget=None,
 ) -> Sweep:
     """Fig. 4 col 1: c_v ~ Uniform[1, max c_v], sweep max c_v."""
     scale = _resolve(scale)
@@ -163,6 +181,8 @@ def fig4_vary_event_capacity(
         memory=memory,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        jobs=jobs,
+        budget=budget,
     )
 
 
@@ -172,6 +192,8 @@ def fig4_vary_user_capacity(
     memory=True,
     checkpoint_path=None,
     resume=False,
+    jobs=1,
+    budget=None,
 ) -> Sweep:
     """Fig. 4 col 2: c_u ~ Uniform[1, max c_u], sweep max c_u."""
     scale = _resolve(scale)
@@ -185,6 +207,8 @@ def fig4_vary_user_capacity(
         memory=memory,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        jobs=jobs,
+        budget=budget,
     )
 
 
@@ -205,6 +229,8 @@ def fig4_distributions(
     memory=True,
     checkpoint_path=None,
     resume=False,
+    jobs=1,
+    budget=None,
 ) -> Sweep:
     """Fig. 4 col 3: attribute/capacity distribution combinations."""
     scale = _resolve(scale)
@@ -228,6 +254,8 @@ def fig4_distributions(
         memory=memory,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        jobs=jobs,
+        budget=budget,
     )
 
 
@@ -238,6 +266,8 @@ def fig4_real(
     memory=True,
     checkpoint_path=None,
     resume=False,
+    jobs=1,
+    budget=None,
 ) -> Sweep:
     """Fig. 4 col 4: the (simulated) Meetup city, sweeping |CF| ratio."""
     scale = _resolve(scale)
@@ -259,6 +289,8 @@ def fig4_real(
         memory=memory,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        jobs=jobs,
+        budget=budget,
     )
 
 
@@ -268,7 +300,7 @@ def fig4_real(
 
 
 def fig5_scalability(
-    scale=None, memory=True, checkpoint_path=None, resume=False
+    scale=None, memory=True, checkpoint_path=None, resume=False, jobs=1, budget=None
 ) -> Sweep:
     """Fig. 5a-b: Greedy-GEACC over a |V| x |U| grid (index streams).
 
@@ -297,11 +329,13 @@ def fig5_scalability(
         memory=memory,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        jobs=jobs,
+        budget=budget,
     )
 
 
 def fig5_effectiveness(
-    scale=None, memory=False, checkpoint_path=None, resume=False
+    scale=None, memory=False, checkpoint_path=None, resume=False, jobs=1, budget=None
 ) -> Sweep:
     """Fig. 5c-d: approximation quality against the exact optimum.
 
@@ -330,6 +364,8 @@ def fig5_effectiveness(
         memory=memory,
         checkpoint_path=checkpoint_path,
         resume=resume,
+        jobs=jobs,
+        budget=budget,
     )
 
 

@@ -26,6 +26,22 @@ triple as an isolated *cell*:
 ``KeyboardInterrupt`` is deliberately *not* caught: it kills the sweep
 between cells, which is exactly the crash the checkpoint protects
 against.
+
+Parallelism
+-----------
+``jobs > 1`` routes the missing cells through
+:func:`repro.parallel.run_cell_groups`: the parent stays the sole
+checkpoint writer (workers hand finished cells back over the pool's
+result channel), cells keep their stable :func:`cell_key` identities,
+and the final tables are merged in grid order -- so only the *line
+order* of the checkpoint depends on scheduling, and
+:func:`canonical_checkpoint_lines` of a ``jobs=1`` and a ``jobs=4`` run
+of the same grid are identical.
+
+Serial or parallel, cells are grouped by (grid point, seed): the
+instance -- similarity matrix included -- is materialised **once** per
+group and shared by every solver in it (zero-copy via shared memory in
+the parallel case).
 """
 
 from __future__ import annotations
@@ -42,6 +58,7 @@ from repro.core.validation import validate_arrangement
 from repro.exceptions import ReproError
 from repro.experiments.metrics import measure
 from repro.experiments.reporting import format_table
+from repro.robustness.budget import Budget
 from repro.robustness.harness import run_with_budget
 from repro.robustness.outcome import FailureRecord, Outcome, is_transient
 
@@ -54,6 +71,26 @@ CHECKPOINT_FORMAT = "geacc-sweep-v1"
 #: Instance-seed stride for transient-failure retries. Large and prime so
 #: retry seeds never collide with the sweep's own ``range(repeats)`` seeds.
 RETRY_SEED_STRIDE = 1_000_003
+
+#: Above this many (|V|, |U|) matrix cells a sweep group keeps the
+#: similarity matrix unmaterialised and solvers stream through the NN
+#: index instead -- the same threshold
+#: :func:`repro.core.algorithms.neighbors.neighbor_orders_for` uses to
+#: pick its backend, so sharing never forces an allocation the solver
+#: itself would have refused.
+SHARED_SIMS_CELL_LIMIT = 20_000_000
+
+
+def want_shared_sims(instance: Instance) -> bool:
+    """Should a sweep group materialise + share this instance's matrix?
+
+    Serial and parallel executors both consult this, so whether a cell's
+    solver sees ``has_matrix`` is a property of the instance, never of
+    ``--jobs`` -- keeping checkpoints canonically identical across modes.
+    """
+    if instance.has_matrix:
+        return True
+    return instance.n_events * instance.n_users <= SHARED_SIMS_CELL_LIMIT
 
 
 @dataclass(frozen=True)
@@ -324,6 +361,7 @@ def run_cell(
     timeout: float | None = None,
     node_limit: int | None = None,
     max_attempts: int = 2,
+    instance: Instance | None = None,
 ) -> CellResult:
     """Run one sweep cell in isolation; never raises (except BaseException).
 
@@ -331,30 +369,41 @@ def run_cell(
     are retried up to ``max_attempts`` times total, each retry
     regenerating the instance with seed ``seed + RETRY_SEED_STRIDE *
     attempt`` so a poisoned instance draw cannot wedge the sweep.
+
+    Args:
+        instance: Pre-materialised instance for the *first* attempt --
+            how a (grid point, seed) group shares one instance (and one
+            similarity matrix) across its solvers. Retries always
+            regenerate through the factory: a shared instance that
+            provoked a transient failure must not be resampled into
+            every retry.
     """
     failures: list[FailureRecord] = []
     attempts = 0
     for attempt in range(max(1, max_attempts)):
         attempts += 1
         instance_seed = seed + RETRY_SEED_STRIDE * attempt
-        try:
-            instance = instance_factory(x, instance_seed)
-        except Exception as exc:
-            record = FailureRecord(
-                solver=solver_name,
-                error_type=type(exc).__name__,
-                message=f"instance generation failed: {exc}",
-                transient=is_transient(exc),
-                attempt=attempt,
-            )
-            failures.append(record)
-            if not record.transient:
-                break
-            continue
+        if attempt == 0 and instance is not None:
+            attempt_instance = instance
+        else:
+            try:
+                attempt_instance = instance_factory(x, instance_seed)
+            except Exception as exc:
+                record = FailureRecord(
+                    solver=solver_name,
+                    error_type=type(exc).__name__,
+                    message=f"instance generation failed: {exc}",
+                    transient=is_transient(exc),
+                    attempt=attempt,
+                )
+                failures.append(record)
+                if not record.transient:
+                    break
+                continue
         run = measure(
             lambda: run_with_budget(
                 solver_name,
-                instance,
+                attempt_instance,
                 timeout=timeout,
                 node_limit=node_limit,
                 solver_kwargs=solver_kwargs,
@@ -403,6 +452,90 @@ def run_cell(
     )
 
 
+def _effective_timeout(timeout: float | None, budget: Budget | None) -> float | None:
+    """Per-cell timeout with the sweep budget's remaining deadline capped in."""
+    if budget is None or budget.deadline is None:
+        return timeout
+    remaining = budget.remaining_seconds() or 0.0
+    return remaining if timeout is None else min(timeout, remaining)
+
+
+def _run_groups_serial(
+    instance_factory: Callable[[object, int], Instance],
+    groups: Sequence[tuple[object, int, tuple[str, ...]]],
+    *,
+    memory: bool,
+    solver_kwargs: dict[str, dict],
+    timeout: float | None,
+    node_limit: int | None,
+    max_attempts: int,
+    budget: Budget | None = None,
+    on_cell: Callable[[CellResult], None] | None = None,
+) -> dict[str, CellResult]:
+    """Serial twin of :func:`repro.parallel.run_cell_groups`.
+
+    Same contract: one instance per (grid point, seed) group shared by
+    all its solvers, budget-expired cells simply absent from the
+    returned mapping, ``on_cell`` invoked per finished cell.
+    """
+    results: dict[str, CellResult] = {}
+    if budget is not None:
+        budget.start()
+    for x, seed, group_solvers in groups:
+        if budget is not None and budget.expired():
+            break
+        try:
+            shared: Instance | None = instance_factory(x, seed)
+        except Exception:
+            # Leave generation (and its classify/retry treatment) to
+            # run_cell; only Exception is absorbed -- a KeyboardInterrupt
+            # here kills the sweep exactly like the per-cell path would.
+            shared = None
+        if shared is not None and want_shared_sims(shared):
+            shared.sims  # materialise once; every solver in the group reuses it
+        for solver_name in group_solvers:
+            if budget is not None and budget.expired():
+                break
+            cell = run_cell(
+                instance_factory,
+                x,
+                seed,
+                solver_name,
+                memory=memory,
+                solver_kwargs=solver_kwargs.get(solver_name),
+                timeout=_effective_timeout(timeout, budget),
+                node_limit=node_limit,
+                max_attempts=max_attempts,
+                instance=shared,
+            )
+            results[cell.key()] = cell
+            if on_cell is not None:
+                on_cell(cell)
+    if budget is not None and budget.expired():
+        budget.mark_exhausted("sweep deadline exhausted")
+    return results
+
+
+def canonical_checkpoint_lines(path: str | Path) -> list[str]:
+    """A checkpoint's cell lines in scheduling-independent form.
+
+    Parallel sweeps append cells in completion order and timings are
+    never reproducible, so raw files differ run to run. This strips the
+    two nondeterministic fields (``seconds``, ``peak_mb``), re-serialises
+    with sorted keys and sorts the lines -- two runs of the same grid
+    are equivalent iff their canonical lines are equal, whatever
+    ``jobs`` was.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    canonical = []
+    for line in lines[1:]:  # line 0 is the header
+        data = json.loads(line)
+        data["seconds"] = 0.0
+        data["peak_mb"] = 0.0
+        canonical.append(json.dumps(data, sort_keys=True))
+    return sorted(canonical)
+
+
 def sweep_parameter(
     name: str,
     x_label: str,
@@ -418,12 +551,15 @@ def sweep_parameter(
     timeout: float | None = None,
     node_limit: int | None = None,
     max_attempts: int = 2,
+    jobs: int = 1,
+    budget: Budget | None = None,
 ) -> Sweep:
     """Run ``solvers`` over ``grid``, averaging ``repeats`` seeds per point.
 
     Args:
         instance_factory: ``(grid value, seed) -> Instance``. A fresh
-            instance per (point, seed); all solvers at a point share it.
+            instance per (point, seed); all solvers at a point share it
+            (materialised once, similarity matrix included).
         solver_kwargs: Optional per-solver constructor arguments.
         checkpoint_path: JSONL file to append each finished cell to
             (created with a header line; see :class:`SweepCheckpoint`).
@@ -435,6 +571,17 @@ def sweep_parameter(
             cells report their anytime best-so-far with outcome
             ``feasible-timeout`` and still average into the tables.
         max_attempts: Total tries per cell when failures are transient.
+        jobs: ``1`` (default) runs every cell serially in this process,
+            exactly as before. ``N > 1`` fans cells out to ``N`` worker
+            processes via :func:`repro.parallel.run_cell_groups`
+            (``0`` = all cores); if the platform cannot run the pool the
+            sweep degrades to serial. Either way the tables and the
+            canonically-sorted checkpoint are identical.
+        budget: Optional sweep-wide :class:`~repro.robustness.budget.
+            Budget`. Its remaining deadline caps every cell's timeout;
+            once it expires, not-yet-run cells are skipped (parallel:
+            outstanding cells are cancelled) and are simply absent from
+            the tables -- resume later to finish them.
 
     Cells are visited in deterministic order (grid, then seed, then
     solver); per (point, solver) the averages cover the successful
@@ -452,31 +599,65 @@ def sweep_parameter(
         else:
             checkpoint.reset()
 
+    # The work list: one group per (grid point, seed), carrying only the
+    # solvers whose cell is not already completed successfully.
+    groups: list[tuple[object, int, tuple[str, ...]]] = []
+    for x in grid:
+        for seed in range(repeats):
+            missing = tuple(
+                s
+                for s in solvers
+                if not (prior := completed.get(cell_key(x, seed, s))) or not prior.ok
+            )
+            if missing:
+                groups.append((x, seed, missing))
+
+    on_cell = checkpoint.append if checkpoint is not None else None
+    run_serial = jobs == 1
+    fresh: dict[str, CellResult] = {}
+    if not run_serial and groups:
+        from repro.parallel import ParallelUnavailableError, run_cell_groups
+
+        try:
+            fresh = run_cell_groups(
+                instance_factory,
+                groups,
+                jobs=jobs,
+                memory=memory,
+                solver_kwargs=solver_kwargs,
+                timeout=timeout,
+                node_limit=node_limit,
+                max_attempts=max_attempts,
+                budget=budget,
+                on_cell=on_cell,
+            )
+        except ParallelUnavailableError:
+            run_serial = True
+    if run_serial and groups:
+        fresh = _run_groups_serial(
+            instance_factory,
+            groups,
+            memory=memory,
+            solver_kwargs=solver_kwargs,
+            timeout=timeout,
+            node_limit=node_limit,
+            max_attempts=max_attempts,
+            budget=budget,
+            on_cell=on_cell,
+        )
+    merged = dict(completed)
+    merged.update(fresh)
+
+    # Deterministic grid-order aggregation: completion order of a
+    # parallel run cannot leak into the tables.
     sweep = Sweep(name=name, x_label=x_label)
     for x in grid:
-        by_solver: dict[str, list[CellResult]] = {s: [] for s in solvers}
-        for seed in range(repeats):
-            for solver_name in solvers:
-                prior = completed.get(cell_key(x, seed, solver_name))
-                if prior is not None and prior.ok:
-                    cell = prior
-                else:
-                    cell = run_cell(
-                        instance_factory,
-                        x,
-                        seed,
-                        solver_name,
-                        memory=memory,
-                        solver_kwargs=solver_kwargs.get(solver_name),
-                        timeout=timeout,
-                        node_limit=node_limit,
-                        max_attempts=max_attempts,
-                    )
-                    if checkpoint is not None:
-                        checkpoint.append(cell)
-                by_solver[solver_name].append(cell)
         for solver_name in solvers:
-            cells = by_solver[solver_name]
+            cells = [
+                cell
+                for seed in range(repeats)
+                if (cell := merged.get(cell_key(x, seed, solver_name))) is not None
+            ]
             ok_cells = [c for c in cells if c.ok]
             sweep.failures.extend(c for c in cells if not c.ok)
             if not ok_cells:

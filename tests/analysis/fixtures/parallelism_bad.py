@@ -1,0 +1,17 @@
+"""R7 fixture: every process-pool primitive below must be flagged."""
+
+import multiprocessing
+import multiprocessing as mp
+from multiprocessing import Pool  # line 5: from-import of Pool
+from concurrent.futures import ProcessPoolExecutor  # line 6
+from concurrent import futures
+
+
+def naked_pools() -> None:
+    multiprocessing.Pool(2)  # line 11
+    mp.Process(target=print)  # line 12
+    mp.pool.Pool(2)  # line 13
+    multiprocessing.set_start_method("fork")  # line 14
+    ctx = multiprocessing.get_context("fork")  # line 15
+    futures.ProcessPoolExecutor(2)  # line 16
+    del ctx, Pool, ProcessPoolExecutor

@@ -1,0 +1,10 @@
+"""R7 fixture: thread pools and innocent multiprocessing helpers pass."""
+
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+
+
+def fine() -> int:
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        pool.submit(print)
+    return multiprocessing.cpu_count()

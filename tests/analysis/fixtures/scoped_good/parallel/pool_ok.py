@@ -1,0 +1,8 @@
+"""R7 exemption fixture: under a parallel/ package, pools are the point."""
+
+import multiprocessing
+
+
+def build_pool() -> object:
+    ctx = multiprocessing.get_context("fork")
+    return ctx.Pool(2)

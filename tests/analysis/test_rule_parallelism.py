@@ -1,0 +1,42 @@
+"""R7: process pools outside repro.parallel are flagged; inside they pass."""
+
+from tests.analysis.conftest import FIXTURES, hits, lint
+
+
+def test_bad_fixture_fires_on_every_pool_primitive() -> None:
+    findings = lint(FIXTURES / "parallelism_bad.py", select=["R7"])
+    assert hits(findings) == [
+        ("R7", 5),   # from multiprocessing import Pool
+        ("R7", 6),   # from concurrent.futures import ProcessPoolExecutor
+        ("R7", 11),  # multiprocessing.Pool(...)
+        ("R7", 12),  # mp.Process(...)
+        ("R7", 13),  # mp.pool.Pool(...)
+        ("R7", 14),  # set_start_method("fork")
+        ("R7", 15),  # get_context("fork")
+        ("R7", 16),  # futures.ProcessPoolExecutor(...)
+    ]
+
+
+def test_messages_route_to_run_cell_groups() -> None:
+    findings = lint(FIXTURES / "parallelism_bad.py", select=["R7"])
+    assert findings
+    assert all("repro.parallel" in d.message for d in findings)
+
+
+def test_good_fixture_is_silent_under_r7() -> None:
+    assert lint(FIXTURES / "parallelism_good.py", select=["R7"]) == []
+
+
+def test_parallel_package_is_exempt() -> None:
+    # The same primitives under a parallel/ package directory are the
+    # sanctioned implementation, not a violation.
+    findings = lint(FIXTURES / "scoped_good", select=["R7"])
+    assert findings == []
+
+
+def test_exemption_requires_the_directory_scope() -> None:
+    # Linted as a bare file the parallel/ scope is gone and R7 fires.
+    findings = lint(
+        FIXTURES / "scoped_good" / "parallel" / "pool_ok.py", select=["R7"]
+    )
+    assert hits(findings) == [("R7", 7)]

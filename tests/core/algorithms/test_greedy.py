@@ -131,3 +131,81 @@ def test_respects_user_capacity_exactly():
     instance = Instance.from_matrix(sims, np.ones(5, dtype=int), np.array([2]))
     arrangement = GreedyGEACC().solve(instance)
     assert len(arrangement.events_of(0)) == 2
+
+
+# ----------------------------------------------------------------------
+# _Cursor chunked stream pulls
+# ----------------------------------------------------------------------
+
+
+class _CountingStream:
+    """A neighbour stream that counts how many items were pulled."""
+
+    def __init__(self, items):
+        self._items = iter(items)
+        self.pulled = 0
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        item = next(self._items)
+        self.pulled += 1
+        return item
+
+
+def _cursor_on(items):
+    from repro.core.algorithms.greedy import _Cursor
+
+    stream = _CountingStream(items)
+    return _Cursor(stream), stream
+
+
+def test_cursor_preserves_stream_order_across_chunks():
+    items = [(i, 100.0 - i) for i in range(200)]
+    cursor, _ = _cursor_on(items)
+    seen = []
+    while (candidate := cursor.peek()) is not None:
+        seen.append(candidate)
+        cursor.skip()
+    assert seen == items
+    assert cursor.done
+
+
+def test_cursor_first_pull_is_a_single_item():
+    # IndexNeighborOrders serves its first neighbour from one cheap
+    # argmax and only argsorts when a second item is demanded; a first
+    # pull larger than 1 would force that argsort for every node at
+    # initialisation time.
+    cursor, stream = _cursor_on([(i, 50.0 - i) for i in range(50)])
+    assert cursor.peek() == (0, 50.0)
+    assert stream.pulled == 1
+
+
+def test_cursor_chunks_grow_geometrically_and_cap():
+    from repro.core.algorithms.greedy import _Cursor
+
+    items = [(i, 1000.0 - i) for i in range(1000)]
+    cursor, stream = _cursor_on(items)
+    pulls = []
+    consumed = 0
+    previous = 0
+    while cursor.peek() is not None and consumed < 400:
+        cursor.skip()
+        consumed += 1
+        if stream.pulled != previous:
+            pulls.append(stream.pulled - previous)
+            previous = stream.pulled
+    assert pulls[:4] == [1, 4, 16, 64]
+    assert all(size == _Cursor.CHUNK_CAP for size in pulls[4:])
+
+
+def test_cursor_peek_holds_and_finish_releases():
+    cursor, stream = _cursor_on([(7, 3.0), (8, 2.0)])
+    assert cursor.peek() == (7, 3.0)
+    assert cursor.peek() == (7, 3.0)  # holding, not advancing
+    assert stream.pulled == 1
+    cursor.finish()
+    assert cursor.done
+    assert cursor.peek() is None
+    assert stream.pulled == 1  # a finished cursor never touches the stream

@@ -1,0 +1,107 @@
+"""``geacc bench``: report round-trips, regression gating, CLI wiring."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments.bench import (
+    BenchReport,
+    compare_reports,
+    load_report,
+    run_bench,
+    write_report,
+)
+
+BENCH_SOLVERS = ("greedy", "random-u")
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> BenchReport:
+    return run_bench(solvers=BENCH_SOLVERS, quick=True, scale="smoke")
+
+
+def test_quick_run_times_every_solver(quick_report: BenchReport) -> None:
+    assert tuple(r.solver for r in quick_report.results) == BENCH_SOLVERS
+    for result in quick_report.results:
+        assert result.repeats == 1
+        assert result.seconds_min > 0
+        assert result.seconds_min <= result.seconds_mean
+        assert result.outcome == "optimal"
+
+
+def test_report_round_trips_through_json(
+    quick_report: BenchReport, tmp_path: Path
+) -> None:
+    path = tmp_path / "bench.json"
+    write_report(quick_report, path)
+    loaded = load_report(path)
+    assert loaded.scale == quick_report.scale
+    assert loaded.seed == quick_report.seed
+    assert {r.solver for r in loaded.results} == set(BENCH_SOLVERS)
+    for result in loaded.results:
+        original = quick_report.result_for(result.solver)
+        assert original is not None
+        assert result.max_sum == original.max_sum
+        assert result.seconds_min == original.seconds_min
+
+
+def test_render_mentions_workload_and_solvers(quick_report: BenchReport) -> None:
+    table = quick_report.render()
+    assert "scale=smoke" in table
+    for name in BENCH_SOLVERS:
+        assert name in table
+
+
+def test_identical_reports_pass_the_gate(quick_report: BenchReport) -> None:
+    assert compare_reports(quick_report, quick_report) == []
+
+
+def test_slowdown_beyond_factor_is_a_regression(quick_report: BenchReport) -> None:
+    data = quick_report.to_json()
+    for entry in data["solvers"].values():
+        entry["seconds_min"] /= 10.0
+    baseline = BenchReport.from_json(data)
+    messages = compare_reports(quick_report, baseline, max_regression=2.0)
+    assert len(messages) == len(BENCH_SOLVERS)
+    assert all("x > 2x" in m for m in messages)
+
+
+def test_workload_mismatch_is_never_ratioed(quick_report: BenchReport) -> None:
+    data = quick_report.to_json()
+    data["seed"] = quick_report.seed + 1
+    baseline = BenchReport.from_json(data)
+    messages = compare_reports(quick_report, baseline)
+    assert len(messages) == 1
+    assert "regenerate the baseline" in messages[0]
+
+
+def test_new_and_retired_solvers_are_ignored(quick_report: BenchReport) -> None:
+    data = quick_report.to_json()
+    del data["solvers"]["random-u"]
+    baseline = BenchReport.from_json(data)
+    assert compare_reports(quick_report, baseline) == []
+
+
+def test_foreign_json_is_rejected(tmp_path: Path) -> None:
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"format": "something-else"}), encoding="utf-8")
+    with pytest.raises(ReproError, match="geacc-bench-v1"):
+        load_report(path)
+
+
+def test_missing_file_is_a_repro_error(tmp_path: Path) -> None:
+    with pytest.raises(ReproError, match="cannot read"):
+        load_report(tmp_path / "absent.json")
+
+
+def test_bad_repeats_rejected() -> None:
+    with pytest.raises(ValueError, match="repeats"):
+        run_bench(solvers=BENCH_SOLVERS, repeats=0, scale="smoke")
+
+
+def test_committed_baseline_is_loadable_and_current_format() -> None:
+    baseline = Path(__file__).resolve().parents[2] / "BENCH_solvers.json"
+    report = load_report(baseline)
+    assert report.results, "committed baseline must carry solver timings"

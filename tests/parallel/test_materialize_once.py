@@ -1,0 +1,55 @@
+"""The similarity matrix is materialised once per shared instance.
+
+Re-materialising the ``(|V|, |U|)`` matrix per (seed, solver) cell was
+the sweep's single largest redundant cost; these tests pin the fix by
+counting calls to :func:`repro.core.similarity.similarity_matrix`
+through the :mod:`repro.core.model` import site. ``Instance.sims``
+caches, so with one eager materialisation per instance every later
+``sims`` / ``sim_row`` / ``sim_col`` access must be a cache hit -- any
+extra call is a regression.
+"""
+
+import pytest
+
+import repro.core.model as model
+from repro.datagen.synthetic import SyntheticConfig, generate_instance
+from repro.experiments.runner import sweep_parameter
+from repro.robustness.harness import solve_with_ladder
+
+SOLVERS = ("greedy", "random-u")
+
+
+def factory(x, seed):
+    config = SyntheticConfig(n_events=x, n_users=15, cv_high=4, cu_high=3)
+    return generate_instance(config, seed)
+
+
+@pytest.fixture
+def count_materialisations(monkeypatch):
+    calls = []
+    real = model.similarity_matrix
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(model, "similarity_matrix", counting)
+    return calls
+
+
+def test_sweep_group_materialises_once(count_materialisations) -> None:
+    sweep = sweep_parameter(
+        "materialise-once", "|V|", [5], factory, solvers=SOLVERS,
+        repeats=1, memory=False,
+    )
+    assert len(sweep.records) == len(SOLVERS)
+    assert not sweep.failures
+    # One (grid point, seed) group, two solvers, one materialisation.
+    assert len(count_materialisations) == 1
+
+
+def test_ladder_rungs_share_one_matrix(count_materialisations) -> None:
+    instance = factory(5, 0)
+    result = solve_with_ladder(instance, ladder=["greedy", "random-u"])
+    assert result.ok
+    assert len(count_materialisations) == 1

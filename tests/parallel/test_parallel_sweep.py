@@ -1,0 +1,99 @@
+"""The parallel sweep path: determinism, resume, budgets, validation.
+
+The factory lives at module level so it survives a pickle round-trip --
+the executor only needs that on spawn-only platforms, but the tests
+should not depend on ``fork`` being available.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.datagen.synthetic import SyntheticConfig, generate_instance
+from repro.experiments.runner import canonical_checkpoint_lines, sweep_parameter
+from repro.parallel import run_cell_groups
+from repro.robustness.budget import Budget
+
+GRID = [4, 6]
+REPEATS = 2
+SOLVERS = ("greedy", "random-u")
+
+
+def factory(x, seed):
+    config = SyntheticConfig(n_events=x, n_users=15, cv_high=4, cu_high=3)
+    return generate_instance(config, seed)
+
+
+def run_sweep(path=None, resume=False, **kwargs):
+    return sweep_parameter(
+        "parallel-test", "|V|", GRID, factory, solvers=SOLVERS,
+        repeats=REPEATS, memory=False, checkpoint_path=path, resume=resume,
+        **kwargs,
+    )
+
+
+def cell_keys(path: Path) -> list[tuple]:
+    lines = path.read_text(encoding="utf-8").splitlines()[1:]
+    return [
+        (d["x"], d["seed"], d["solver"])
+        for d in (json.loads(line) for line in lines)
+    ]
+
+
+def test_jobs4_matches_serial_byte_for_byte(tmp_path: Path) -> None:
+    serial_path = tmp_path / "serial.jsonl"
+    parallel_path = tmp_path / "parallel.jsonl"
+    serial = run_sweep(serial_path)
+    parallel = run_sweep(parallel_path, jobs=4)
+    assert canonical_checkpoint_lines(serial_path) == canonical_checkpoint_lines(
+        parallel_path
+    )
+    for mine, theirs in zip(serial.records, parallel.records):
+        assert (mine.x, mine.solver) == (theirs.x, theirs.solver)
+        assert mine.max_sum == theirs.max_sum
+        assert mine.n_pairs == theirs.n_pairs
+
+
+def test_kill_and_resume_under_jobs4(tmp_path: Path) -> None:
+    full_path = tmp_path / "full.jsonl"
+    run_sweep(full_path)
+    # Simulate a kill mid-run: keep the header and the first two cells.
+    survived = full_path.read_text(encoding="utf-8").splitlines()[:3]
+    partial_path = tmp_path / "partial.jsonl"
+    partial_path.write_text("\n".join(survived) + "\n", encoding="utf-8")
+
+    resumed = run_sweep(partial_path, resume=True, jobs=4)
+    keys = cell_keys(partial_path)
+    assert len(keys) == len(set(keys)), "resume re-ran an already-finished cell"
+    assert len(keys) == len(GRID) * REPEATS * len(SOLVERS)
+    assert canonical_checkpoint_lines(partial_path) == canonical_checkpoint_lines(
+        full_path
+    )
+    assert not resumed.failures
+
+
+def test_exhausted_budget_cancels_and_resume_completes(tmp_path: Path) -> None:
+    path = tmp_path / "budgeted.jsonl"
+    budget = Budget(deadline=0.0)
+    budget.start()
+    run_sweep(path, jobs=4, budget=budget)
+    assert budget.exhausted
+    partial_keys = cell_keys(path)
+    assert len(partial_keys) < len(GRID) * REPEATS * len(SOLVERS)
+
+    resumed = run_sweep(path, resume=True, jobs=4)
+    keys = cell_keys(path)
+    assert len(keys) == len(set(keys))
+    assert len(keys) == len(GRID) * REPEATS * len(SOLVERS)
+    assert not resumed.failures
+
+
+def test_jobs_zero_means_all_cores(tmp_path: Path) -> None:
+    sweep = run_sweep(tmp_path / "all-cores.jsonl", jobs=0)
+    assert len(sweep.records) == len(GRID) * len(SOLVERS)
+
+
+def test_negative_jobs_is_rejected() -> None:
+    with pytest.raises(ValueError, match="jobs"):
+        run_cell_groups(factory, [], jobs=-1)

@@ -96,9 +96,10 @@ class TestResume:
         # Previously-written lines are untouched, the rest was appended.
         assert killed.read_text().splitlines(keepends=True)[:4] == full_lines[:4]
         assert len(killed.read_text().splitlines()) == len(full_lines)
-        # 3 cells skipped -> only the remaining cells regenerate instances.
-        total_cells = len(GRID) * REPEATS * len(SOLVERS)
-        assert factory.calls == total_cells - 3
+        # One instance per (x, seed) group that still has missing cells:
+        # (4, seed 1) lost only its random-u cell, (6, seed 0) and
+        # (6, seed 1) lost everything -> 3 regenerated instances.
+        assert factory.calls == 3
         # Deterministic metrics agree with the uninterrupted run.
         assert maxsum_table(resumed) == maxsum_table(reference)
 
@@ -139,8 +140,9 @@ class TestResume:
         )
         with pytest.raises(KeyboardInterrupt):
             run_sweep(factory, path)
-        # The three finished cells reached disk before the interrupt...
-        assert len(path.read_text().splitlines()) == 1 + 3
+        # Factory call 4 is the fourth (x, seed) group's instance, so the
+        # three finished groups (2 cells each) reached disk beforehand...
+        assert len(path.read_text().splitlines()) == 1 + 6
         # ...and a resume finishes the job with identical tables.
         resumed = run_sweep(CountingFactory(), path, resume=True)
         assert maxsum_table(resumed) == maxsum_table(run_sweep(CountingFactory()))
@@ -150,7 +152,8 @@ class TestResume:
         run_sweep(CountingFactory(), path)
         factory = CountingFactory()
         run_sweep(factory, path)
-        assert factory.calls == len(GRID) * REPEATS * len(SOLVERS)
+        # One instance per (x, seed) group, shared by all its solvers.
+        assert factory.calls == len(GRID) * REPEATS
 
 
 class TestCellIsolation:
@@ -180,16 +183,36 @@ class TestCellIsolation:
         assert [f.attempt for f in cell.failures] == [0, 1, 2]
 
     def test_failed_cells_do_not_poison_the_sweep(self, tmp_path):
-        # Cell 2 fails deterministically; the other cells still average.
-        factory = CountingFactory(explode_on_call=2, error=ValueError("bad"))
+        # The (4, seed 1) instance draw fails deterministically -- at the
+        # group level *and* at run_cell's own attempt -- so both of its
+        # cells fail; the other cells still average.
+        class BadDraw(CountingFactory):
+            def __call__(self, x, seed):
+                if (x, seed) == (4, 1):
+                    self.calls += 1
+                    raise ValueError("bad draw")
+                return super().__call__(x, seed)
+
+        factory = BadDraw()
         sweep = run_sweep(factory, tmp_path / "ckpt.jsonl")
-        assert len(sweep.failures) == 1
-        assert sweep.failures[0].status == "failed"
-        total_cells = len(GRID) * REPEATS * len(SOLVERS)
+        assert len(sweep.failures) == len(SOLVERS)
+        assert all(cell.status == "failed" for cell in sweep.failures)
         ok_records = {(r.x, r.solver) for r in sweep.records}
         assert len(ok_records) == len(GRID) * len(SOLVERS)
-        assert factory.calls == total_cells
+        # 4 group draws + one per-cell re-draw for each cell of the
+        # poisoned group (non-transient: no retries).
+        assert factory.calls == len(GRID) * REPEATS + len(SOLVERS)
         assert "failed cells" in sweep.render()
+
+    def test_transient_group_generation_heals_per_cell(self, tmp_path):
+        # The shared (x, seed) group draw OOMs once; each cell falls back
+        # to drawing its own instance and the sweep stays clean.
+        factory = CountingFactory(explode_on_call=2, error=MemoryError("oom"))
+        sweep = run_sweep(factory, tmp_path / "ckpt.jsonl")
+        assert not sweep.failures
+        assert len(sweep.records) == len(GRID) * len(SOLVERS)
+        # 4 group draws (one exploded) + 2 per-cell fallback draws.
+        assert factory.calls == len(GRID) * REPEATS + len(SOLVERS)
 
     def test_budgeted_sweep_tags_timeouts_but_still_averages(self, tmp_path):
         path = tmp_path / "ckpt.jsonl"
