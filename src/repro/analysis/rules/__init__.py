@@ -8,6 +8,7 @@ rules by dropping a module here and importing it below).
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.floats import FloatComparisonRule
 from repro.analysis.rules.hygiene import ApiHygieneRule
+from repro.analysis.rules.netio import NetworkIoRule
 from repro.analysis.rules.ordering import OrderingSafetyRule
 from repro.analysis.rules.parallelism import ParallelismRule
 from repro.analysis.rules.solver_registry import SolverRegistryRule
@@ -21,4 +22,5 @@ __all__ = [
     "ApiHygieneRule",
     "TimeApiRule",
     "ParallelismRule",
+    "NetworkIoRule",
 ]

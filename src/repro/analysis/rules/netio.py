@@ -1,0 +1,149 @@
+"""R8 -- network I/O: no server-side sockets outside ``repro.service``.
+
+The arrangement service (:mod:`repro.service`) exists so that every
+network listener in the tree obeys one set of invariants: commands are
+validated and journaled (fsync'd) *before* they mutate state, admission
+control bounds the work a burst can enqueue, and recovery replays the
+journal to the exact pre-crash state. A ``socket.socket()`` bound in a
+random experiment script -- or a one-off ``http.server`` spun up to
+"just expose" a solver -- sits outside all of that: unjournaled
+mutations, unbounded queues, state that dies with the process. So this
+rule flags the server-side networking modules everywhere except under a
+``service/`` package directory:
+
+* importing ``socket`` or ``socketserver`` (any form, any alias);
+* importing ``http.server`` (including ``from http import server``);
+* calls reaching those modules through a bound alias, e.g.
+  ``sock.create_server(...)`` after ``import socket as sock``, or
+  ``http.server.ThreadingHTTPServer(...)`` after ``import http``.
+
+Client-side HTTP (``urllib``) is untouched: consuming a service is
+fine; *being* one outside the journaled front-end is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutils import dotted_name
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ParsedModule
+from repro.analysis.registry import Rule, register_rule
+
+#: Modules whose listeners are corralled into repro.service.
+_NET_MODULES = frozenset({"socket", "socketserver", "http.server"})
+
+#: Package directory whose modules own the serving machinery.
+_EXEMPT_DIR = "service"
+
+
+@register_rule
+class NetworkIoRule(Rule):
+    """Flag server-side socket modules used outside ``repro.service``."""
+
+    rule_id = "R8"
+    title = "no server-side sockets outside repro.service"
+    rationale = (
+        "ad-hoc listeners bypass the serving invariants (validate-then-"
+        "journal writes, bounded admission, replayable recovery); expose "
+        "functionality through repro.service.http instead"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        if _EXEMPT_DIR in module.relparts[:-1]:
+            return
+        aliases = _module_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                yield from self._check_import(module, node)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, aliases)
+
+    def _check_import(
+        self, module: ParsedModule, node: ast.Import
+    ) -> Iterator[Diagnostic]:
+        for alias in node.names:
+            if alias.name in _NET_MODULES:
+                bound = alias.asname or alias.name.partition(".")[0]
+                yield _diag(
+                    module, node,
+                    f"import {alias.name} (bound as {bound!r}): network "
+                    "listeners belong to repro.service -- expose this "
+                    "through repro.service.http instead",
+                )
+
+    def _check_import_from(
+        self, module: ParsedModule, node: ast.ImportFrom
+    ) -> Iterator[Diagnostic]:
+        if node.module in _NET_MODULES:
+            for alias in node.names:
+                yield _diag(
+                    module, node,
+                    f"from {node.module} import {alias.name}: server-side "
+                    "sockets outside repro.service; route requests through "
+                    "the journaled front-end (repro.service.http)",
+                )
+        elif node.module == "http":
+            for alias in node.names:
+                if alias.name == "server":
+                    yield _diag(
+                        module, node,
+                        "from http import server: server-side sockets "
+                        "outside repro.service; route requests through the "
+                        "journaled front-end (repro.service.http)",
+                    )
+
+    def _check_call(
+        self, module: ParsedModule, node: ast.Call, aliases: set[str]
+    ) -> Iterator[Diagnostic]:
+        dotted = dotted_name(node.func)
+        if dotted is None or "." not in dotted:
+            return
+        prefix, _, _attr = dotted.rpartition(".")
+        if prefix in aliases:
+            yield _diag(
+                module, node,
+                f"{dotted}(): server-side networking outside repro.service; "
+                "expose this through repro.service.http instead",
+            )
+
+
+def _module_aliases(tree: ast.Module) -> set[str]:
+    """Names bound to socket, socketserver, or http.server.
+
+    Covers ``import socket [as sock]``, ``import http.server`` (both the
+    ``http.server`` dotted path and nothing else -- ``http`` alone also
+    makes ``http.server`` reachable, so a bare ``import http [as h]``
+    contributes ``h.server``), and ``from http import server [as srv]``.
+    """
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in _NET_MODULES:
+                    if alias.asname is not None:
+                        aliases.add(alias.asname)
+                    else:
+                        aliases.add(alias.name)
+                elif alias.name == "http" or alias.name.startswith("http."):
+                    bound = alias.asname or "http"
+                    aliases.add(bound + ".server")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "http":
+                for alias in node.names:
+                    if alias.name == "server":
+                        aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+def _diag(module: ParsedModule, node: ast.AST, message: str) -> Diagnostic:
+    return Diagnostic(
+        path=module.display_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule_id=NetworkIoRule.rule_id,
+        message=message,
+    )

@@ -28,6 +28,15 @@ reached its budget-limited best-so-far.
 * ``geacc lint`` -- run the GEACC-aware static-analysis pass (also
   available as the ``geacc-lint`` console script; see
   ``docs/static-analysis.md``).
+* ``geacc serve`` -- run the journaled online arrangement service: a
+  JSON-over-HTTP front-end over a write-ahead journal and the
+  micro-batching solve engine (``--journal``, ``--batch-ms``,
+  ``--timeout``; see ``docs/service.md``). Restarting with an existing
+  journal recovers the exact pre-crash state.
+* ``geacc replay`` -- drive a simulated timeline through the service as
+  a load generator; reports request-latency percentiles and achieved
+  MaxSum versus the offline clairvoyant bound, next to the
+  first-come-first-served baseline.
 """
 
 from __future__ import annotations
@@ -264,6 +273,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         quick=args.quick,
         scale=args.scale,
+        with_service=not args.no_service,
     )
     print(report.render())
     write_report(report, args.output)
@@ -322,6 +332,80 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         result = simulator.run(policies[name])
         print(result.summary())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.frontend import ArrangementService
+    from repro.service.http import make_server
+    from repro.service.store import StoreConfig
+
+    config = StoreConfig(dimension=args.dimension, t=args.t, metric=args.metric)
+    service = ArrangementService.open(
+        args.journal,
+        config,
+        batch_ms=args.batch_ms,
+        solve_timeout=args.timeout,
+        max_pending=args.max_pending,
+        ladder=tuple(args.ladder),
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    summary = service.state_summary()
+    print(
+        f"geacc serve: journal={args.journal} seq={summary['seq']} "
+        f"|V|={summary['n_events']} |U|={summary['n_users']} "
+        f"|M|={summary['n_assignments']}",
+        flush=True,
+    )
+    # The smoke driver and scripts parse this exact line for the port.
+    print(f"listening on http://{args.host}:{server.port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.service.loadgen import replay_timeline
+    from repro.simulation import random_timeline
+
+    instance = _build_instance(args)
+    print(instance)
+    rng = np.random.default_rng(args.seed)
+    timeline = random_timeline(instance, rng, horizon=args.horizon)
+    if args.journal:
+        journal_path = Path(args.journal)
+        report = replay_timeline(
+            instance,
+            timeline,
+            journal_path,
+            batch_ms=args.batch_ms,
+            solve_timeout=args.timeout,
+            ladder=tuple(args.ladder),
+            bound=args.bound,
+        )
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            report = replay_timeline(
+                instance,
+                timeline,
+                Path(tmp) / "replay.jsonl",
+                batch_ms=args.batch_ms,
+                solve_timeout=args.timeout,
+                ladder=tuple(args.ladder),
+                bound=args.bound,
+            )
+    print(report.render())
+    return 0 if report.ratio >= report.baseline_ratio else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -498,6 +582,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FACTOR",
         help="slowdown factor tolerated by --compare (default: 2.0)",
     )
+    bench.add_argument(
+        "--no-service",
+        action="store_true",
+        help="skip the serving-path scenario (journal-append throughput "
+        "and request latency)",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     reproduce = subparsers.add_parser(
@@ -533,6 +623,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--rebatch-solver", default="greedy", choices=sorted(SOLVERS)
     )
     simulate.set_defaults(func=_cmd_simulate)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the journaled online arrangement service"
+    )
+    serve.add_argument(
+        "--journal",
+        required=True,
+        metavar="PATH",
+        help="write-ahead journal (recovered if it already exists)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8527, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--batch-ms",
+        type=float,
+        default=25.0,
+        metavar="MS",
+        help="micro-batch coalescing window (default: 25ms)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="per-batch solve deadline; on expiry the engine falls down "
+        "the degradation ladder (default: 0.25s)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="admission-control queue bound (503 beyond it)",
+    )
+    serve.add_argument(
+        "--ladder",
+        nargs="+",
+        default=["greedy", "random-u"],
+        choices=sorted(SOLVERS),
+        help="batch-solve degradation ladder, best first",
+    )
+    serve.add_argument(
+        "--dimension", type=int, default=20,
+        help="attribute dimensionality (new journals only)",
+    )
+    serve.add_argument(
+        "--t", type=float, default=10_000.0,
+        help="attribute bound T (new journals only)",
+    )
+    serve.add_argument(
+        "--metric", default="euclidean",
+        help="similarity metric (new journals only)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="drive a simulated timeline through the service (load generator)",
+    )
+    _add_instance_arguments(replay)
+    replay.add_argument("--horizon", type=float, default=100.0)
+    replay.add_argument(
+        "--batch-ms", type=float, default=10.0, metavar="MS",
+        help="engine coalescing window during the replay",
+    )
+    replay.add_argument(
+        "--timeout", type=float, default=0.25, metavar="SECONDS",
+        help="per-batch solve deadline",
+    )
+    replay.add_argument(
+        "--ladder",
+        nargs="+",
+        default=["greedy", "random-u"],
+        choices=sorted(SOLVERS),
+        help="batch-solve degradation ladder, best first",
+    )
+    replay.add_argument(
+        "--bound",
+        choices=["relaxation", "nn"],
+        default="relaxation",
+        help="clairvoyant bound to score against (default: relaxation)",
+    )
+    replay.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="keep the run's journal here (default: a temp file)",
+    )
+    replay.set_defaults(func=_cmd_replay)
 
     lint = subparsers.add_parser(
         "lint", help="run the GEACC-aware static-analysis pass"

@@ -46,16 +46,11 @@ class NegativeCycleError(FlowError):
 
 
 class NNIndexError(ReproError):
-    """Base class for errors raised by the nearest-neighbour indexes."""
+    """Base class for errors raised by the nearest-neighbour indexes.
 
-
-#: Deprecated alias for :class:`NNIndexError`.
-#:
-#: The original name shadowed the ``IndexError`` builtin behind a trailing
-#: underscore -- exactly the footgun ``geacc-lint`` exists to flag. Kept
-#: for one release so external ``except IndexError_`` clauses keep
-#: working; new code must catch :class:`NNIndexError`.
-IndexError_ = NNIndexError
+    (Known as ``IndexError_`` before PR 2; the deprecated alias was
+    removed in PR 5 after its one-release grace period.)
+    """
 
 
 class EmptyIndexError(NNIndexError):
@@ -75,6 +70,37 @@ class BudgetExceededError(ReproError):
     best-so-far arrangement; the :mod:`repro.robustness.harness` converts
     that into a ``feasible-timeout`` outcome, so the exception never
     crosses the harness boundary.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the online arrangement service.
+
+    Raised by :mod:`repro.service` when a command is rejected *before*
+    it is journaled: unknown entity ids, out-of-range attributes,
+    lifecycle violations (freezing a cancelled event, cancelling a
+    frozen one). A rejected command never reaches the write-ahead
+    journal, so it can never resurface during recovery.
+    """
+
+
+class JournalError(ServiceError):
+    """The write-ahead journal is unreadable or internally inconsistent.
+
+    A torn *final* line (crash mid-append) is not an error -- recovery
+    truncates it and re-runs nothing, see
+    :meth:`repro.service.journal.Journal.recover`. This exception is for
+    everything else: a missing/foreign header, a sequence-number gap, or
+    an undecodable record in the middle of the file.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """The engine's admission queue is full; the request was rejected.
+
+    Explicit overload beats an unbounded queue: the HTTP front-end maps
+    this to ``503 Retry-After`` so clients back off instead of piling
+    latency onto every in-flight request.
     """
 
 

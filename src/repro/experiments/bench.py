@@ -32,6 +32,7 @@ from repro.exceptions import ReproError
 from repro.experiments.config import get_scale
 from repro.experiments.reporting import format_table
 from repro.robustness.harness import run_with_budget
+from repro.service.bench import ServiceBench, run_service_bench
 
 #: Format marker of BENCH_*.json reports.
 BENCH_FORMAT = "geacc-bench-v1"
@@ -95,6 +96,7 @@ class BenchReport:
     repeats: int
     python: str
     results: tuple[SolverBench, ...]
+    service: ServiceBench | None = None
 
     def result_for(self, solver: str) -> SolverBench | None:
         for result in self.results:
@@ -122,10 +124,20 @@ class BenchReport:
             f"== solver bench: scale={self.scale} |V|={self.n_events} "
             f"|U|={self.n_users} seed={self.seed} repeats={self.repeats} =="
         )
-        return title + "\n" + format_table(headers, rows)
+        rendered = title + "\n" + format_table(headers, rows)
+        if self.service is not None:
+            s = self.service
+            rendered += (
+                "\n== service bench =="
+                f"\njournal-append: {1e6 * s.append_seconds:.1f}us/op "
+                f"({s.appends_per_second:.0f} appends/s over {s.appends} ops)"
+                f"\nrequest:        p50={1000 * s.request_p50:.2f}ms "
+                f"p99={1000 * s.request_p99:.2f}ms over {s.requests} requests"
+            )
+        return rendered
 
     def to_json(self) -> dict:
-        return {
+        data = {
             "format": BENCH_FORMAT,
             "scale": self.scale,
             "seed": self.seed,
@@ -135,6 +147,9 @@ class BenchReport:
             "python": self.python,
             "solvers": {r.solver: r.to_json() for r in self.results},
         }
+        if self.service is not None:
+            data["service"] = self.service.to_json()
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "BenchReport":
@@ -151,6 +166,13 @@ class BenchReport:
                 SolverBench.from_json(name, entry)
                 for name, entry in sorted(data["solvers"].items())
             ),
+            # Reports written before the service scenario existed simply
+            # lack the key; absence is legal in both directions.
+            service=(
+                ServiceBench.from_json(data["service"])
+                if "service" in data
+                else None
+            ),
         )
 
 
@@ -160,12 +182,18 @@ def run_bench(
     quick: bool = False,
     scale: str | None = None,
     seed: int = BENCH_SEED,
+    with_service: bool = True,
 ) -> BenchReport:
     """Time ``solvers`` on the reference instance of the active scale.
 
     The similarity matrix is materialised once, before any timing, so
     every solver is measured on identical footing (the same policy the
     sweep runner applies to its cell groups).
+
+    ``with_service`` additionally runs the serving-path scenario
+    (:mod:`repro.service.bench`: journal-append throughput and request
+    latency on its own fixed workload) and records it in the report,
+    where :func:`compare_reports` gates it like any solver timing.
     """
     resolved = get_scale(scale)
     if solvers is None:
@@ -212,6 +240,7 @@ def run_bench(
         repeats=repeats,
         python=platform.python_version(),
         results=tuple(results),
+        service=run_service_bench(quick=quick) if with_service else None,
     )
 
 
@@ -240,6 +269,11 @@ def compare_reports(
     only one report are ignored (new solver / retired solver), but a
     baseline from a different workload is itself a finding -- timings
     from different instances must never be ratioed.
+
+    The serving-path numbers (journal-append seconds/op and request
+    p50) are gated by the same factor when both reports carry a
+    ``service`` section; like solvers, a section present in only one
+    report is ignored.
     """
     if max_regression <= 0:
         raise ValueError(f"max_regression must be > 0, got {max_regression}")
@@ -269,4 +303,26 @@ def compare_reports(
                 f"{result.solver}: {result.seconds_min:.4f}s vs baseline "
                 f"{base.seconds_min:.4f}s ({ratio:.2f}x > {max_regression:g}x)"
             )
+    if current.service is not None and baseline.service is not None:
+        service_metrics = (
+            (
+                "service.journal-append",
+                current.service.append_seconds,
+                baseline.service.append_seconds,
+            ),
+            (
+                "service.request-p50",
+                current.service.request_p50,
+                baseline.service.request_p50,
+            ),
+        )
+        for label, now, base_value in service_metrics:
+            if base_value <= 0:
+                continue
+            ratio = now / base_value
+            if ratio > max_regression:
+                messages.append(
+                    f"{label}: {now:.6f}s vs baseline {base_value:.6f}s "
+                    f"({ratio:.2f}x > {max_regression:g}x)"
+                )
     return messages

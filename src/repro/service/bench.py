@@ -1,0 +1,155 @@
+"""The ``service`` bench scenario: journal throughput, request latency.
+
+Two serving-path numbers ride along in ``BENCH_solvers.json`` next to
+the solver timings, under the same ``make bench-check`` regression gate:
+
+* **journal-append** -- seconds per durably journaled command (write +
+  flush + fsync), the floor under every write's latency;
+* **request** -- p50/p99 wall latency of a single blocking assignment
+  request against a warm in-process service (journaled command,
+  micro-batch solve over the open remainder, committed delta), the
+  number a deployment's SLO would be written against.
+
+Comparability follows the solver bench rules: a fixed synthetic
+workload (seeded), ``--quick`` changes only repetition counts, and the
+gate compares against the committed baseline with the usual tolerated
+factor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.service.frontend import ArrangementService
+from repro.service.journal import Journal
+from repro.service.store import StoreConfig
+
+#: Fixed workload shape of the request-latency scenario.
+BENCH_EVENTS = 12
+BENCH_USERS = 80
+BENCH_DIMENSION = 4
+BENCH_SEED = 0
+
+#: Repetition counts (full / --quick).
+FULL_APPENDS = 2000
+QUICK_APPENDS = 300
+FULL_REQUESTS = 120
+QUICK_REQUESTS = 40
+
+
+@dataclass(frozen=True)
+class ServiceBench:
+    """Serving-path measurements recorded in the bench report."""
+
+    appends: int
+    append_seconds: float  # per-op (min over repeats)
+    requests: int
+    request_p50: float
+    request_p99: float
+
+    @property
+    def appends_per_second(self) -> float:
+        return 1.0 / self.append_seconds if self.append_seconds > 0 else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "appends": self.appends,
+            "append_seconds": self.append_seconds,
+            "requests": self.requests,
+            "request_p50": self.request_p50,
+            "request_p99": self.request_p99,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ServiceBench":
+        try:
+            return cls(
+                appends=int(data["appends"]),
+                append_seconds=float(data["append_seconds"]),
+                requests=int(data["requests"]),
+                request_p50=float(data["request_p50"]),
+                request_p99=float(data["request_p99"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed service bench entry {data!r}: {exc}") from exc
+
+
+def _bench_journal_appends(tmp: Path, appends: int, repeats: int) -> float:
+    """Seconds per fsync'd append (min over ``repeats`` passes)."""
+    config = StoreConfig(dimension=BENCH_DIMENSION)
+    record_args = {"user": 0}
+    per_op: list[float] = []
+    for attempt in range(repeats):
+        path = tmp / f"append-{attempt}.jsonl"
+        journal = Journal.create(path, config)
+        try:
+            started = time.perf_counter()
+            for _ in range(appends):
+                journal.append("request_assignment", record_args)
+            per_op.append((time.perf_counter() - started) / appends)
+        finally:
+            journal.close()
+    return min(per_op)
+
+
+def _bench_request_latency(
+    tmp: Path, requests: int
+) -> tuple[float, float]:
+    """(p50, p99) of single blocking assignment requests, in seconds.
+
+    The service runs engine-synchronous (no batch thread, ``wait=True``
+    drives the batch inline), so each sample is the full request path --
+    journal, solve over the open remainder, commit -- without
+    coalescing: the worst case a single request can see.
+    """
+    rng = np.random.default_rng(BENCH_SEED)
+    config = StoreConfig(dimension=BENCH_DIMENSION)
+    service = ArrangementService.create(
+        tmp / "requests.jsonl", config, threaded=False
+    )
+    t = config.t
+    with service:
+        for _ in range(BENCH_EVENTS):
+            service.post_event(
+                capacity=int(rng.integers(2, 8)),
+                attributes=[float(x) for x in rng.uniform(0, t, BENCH_DIMENSION)],
+            )
+        user_attrs = rng.uniform(0, t, (max(requests, BENCH_USERS), BENCH_DIMENSION))
+        latencies: list[float] = []
+        for index in range(requests):
+            user = service.register_user(
+                capacity=int(rng.integers(1, 4)),
+                attributes=[float(x) for x in user_attrs[index]],
+            )
+            started = time.perf_counter()
+            service.request_assignment(user)
+            latencies.append(time.perf_counter() - started)
+    latencies.sort()
+    p50 = float(np.percentile(latencies, 50.0))
+    p99 = float(np.percentile(latencies, 99.0))
+    return p50, p99
+
+
+def run_service_bench(quick: bool = False, repeats: int = 3) -> ServiceBench:
+    """Measure the serving path on the fixed bench workload."""
+    appends = QUICK_APPENDS if quick else FULL_APPENDS
+    requests = QUICK_REQUESTS if quick else FULL_REQUESTS
+    with TemporaryDirectory() as tmp_name:
+        tmp = Path(tmp_name)
+        append_seconds = _bench_journal_appends(
+            tmp, appends, repeats=1 if quick else repeats
+        )
+        p50, p99 = _bench_request_latency(tmp, requests)
+    return ServiceBench(
+        appends=appends,
+        append_seconds=append_seconds,
+        requests=requests,
+        request_p50=p50,
+        request_p99=p99,
+    )

@@ -1,0 +1,272 @@
+"""The service façade: journaled commands over a live store + engine.
+
+:class:`ArrangementService` is the single entry point both front-ends
+(the HTTP API and the ``geacc replay`` load generator) talk to. It owns
+
+* the :class:`~repro.service.store.ArrangementStore` (live state),
+* the :class:`~repro.service.journal.Journal` (durability), and
+* the :class:`~repro.service.engine.MicroBatchEngine` (solving),
+
+and enforces the write-ahead discipline: validate -> journal (fsync) ->
+apply, all under one state lock, so every state the store ever reaches
+is reconstructible from the journal prefix that produced it.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.exceptions import ServiceError
+from repro.service.engine import (
+    DEFAULT_BATCH_MS,
+    DEFAULT_LADDER,
+    DEFAULT_MAX_PENDING,
+    DEFAULT_SOLVE_TIMEOUT,
+    MicroBatchEngine,
+    PendingRequest,
+)
+from repro.service.journal import Journal
+from repro.service.store import (
+    CMD_CANCEL_EVENT,
+    CMD_FREEZE_EVENT,
+    CMD_POST_EVENT,
+    CMD_REGISTER_USER,
+    CMD_REQUEST_ASSIGNMENT,
+    ArrangementStore,
+    StoreConfig,
+)
+
+#: Default wait allowance for a blocking assignment request: generously
+#: past one batch window + one solve deadline.
+DEFAULT_REQUEST_WAIT = 30.0
+
+
+class ArrangementService:
+    """A journaled online arrangement service over one GEACC universe.
+
+    Build with :meth:`create` (fresh journal) or :meth:`recover`
+    (existing journal -> reconstructed state); pass ``threaded=False``
+    to drive batches synchronously (tests, deterministic load
+    generation) instead of via the background engine thread.
+    """
+
+    def __init__(
+        self,
+        store: ArrangementStore,
+        journal: Journal,
+        *,
+        batch_ms: float = DEFAULT_BATCH_MS,
+        solve_timeout: float = DEFAULT_SOLVE_TIMEOUT,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        ladder: tuple[str, ...] = DEFAULT_LADDER,
+        threaded: bool = True,
+    ) -> None:
+        if store.seq != journal.seq:
+            raise ServiceError(
+                f"store seq {store.seq} does not match journal seq {journal.seq}"
+            )
+        self.store = store
+        self.journal = journal
+        self._lock = threading.RLock()
+        self.engine = MicroBatchEngine(
+            self,
+            batch_ms=batch_ms,
+            solve_timeout=solve_timeout,
+            max_pending=max_pending,
+            ladder=ladder,
+        )
+        self._threaded = threaded
+        self._closed = False
+        if threaded:
+            self.engine.start()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, journal_path: str | Path, config: StoreConfig, **kwargs: object
+    ) -> "ArrangementService":
+        """Start a brand-new service with an empty journal."""
+        journal = Journal.create(journal_path, config)
+        return cls(ArrangementStore(config), journal, **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def recover(cls, journal_path: str | Path, **kwargs: object) -> "ArrangementService":
+        """Restart from an existing journal (truncating any torn tail)."""
+        journal, store = Journal.recover(journal_path)
+        return cls(store, journal, **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def open(
+        cls,
+        journal_path: str | Path,
+        config: StoreConfig | None = None,
+        **kwargs: object,
+    ) -> "ArrangementService":
+        """Recover when the journal exists, otherwise create it.
+
+        ``config`` is required for creation and ignored (the journal
+        header wins) for recovery.
+        """
+        if Path(journal_path).exists():
+            return cls.recover(journal_path, **kwargs)
+        if config is None:
+            raise ServiceError(
+                f"{journal_path} does not exist and no config was given"
+            )
+        return cls.create(journal_path, config, **kwargs)
+
+    # ------------------------------------------------------------------
+    # The write-ahead spine
+    # ------------------------------------------------------------------
+
+    def _journal_and_apply(self, cmd: str, args: dict) -> dict:
+        """Durably journal one accepted command, then mutate the store."""
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is closed")
+            record = self.journal.append(cmd, args)
+            self.store.apply(record)
+            return record
+
+    def _accept(self, cmd: str, args: dict) -> dict:
+        with self._lock:
+            self.store.validate_command(cmd, args)
+            return self._journal_and_apply(cmd, args)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def post_event(
+        self,
+        capacity: int,
+        attributes: list[float],
+        conflicts: list[int] | None = None,
+    ) -> int:
+        """Post a new event; returns its (stable) id."""
+        record = self._accept(
+            CMD_POST_EVENT,
+            {
+                "capacity": capacity,
+                "attributes": list(attributes),
+                "conflicts": sorted(set(conflicts or [])),
+            },
+        )
+        del record
+        with self._lock:
+            return self.store.n_events - 1
+
+    def register_user(self, capacity: int, attributes: list[float]) -> int:
+        """Register a new user; returns their (stable) id."""
+        self._accept(
+            CMD_REGISTER_USER,
+            {"capacity": capacity, "attributes": list(attributes)},
+        )
+        with self._lock:
+            return self.store.n_users - 1
+
+    def request_assignment(
+        self,
+        user: int,
+        *,
+        wait: bool = True,
+        timeout: float = DEFAULT_REQUEST_WAIT,
+    ) -> tuple[int, ...] | PendingRequest:
+        """Ask the engine to (re)arrange ``user``.
+
+        The request is admission-checked first (a full queue rejects
+        with :class:`~repro.exceptions.ServiceOverloadedError` before
+        anything is journaled), then journaled, then queued for the next
+        micro-batch.
+
+        Returns:
+            The user's standing events after the batch commits
+            (``wait=True``), or the :class:`PendingRequest` future
+            (``wait=False``).
+        """
+        with self._lock:
+            self.store.validate_command(CMD_REQUEST_ASSIGNMENT, {"user": user})
+            request = self.engine.admit(user)
+            self._journal_and_apply(CMD_REQUEST_ASSIGNMENT, {"user": user})
+        if not self._threaded or not wait:
+            return request if not wait else self._wait_synchronous(request, timeout)
+        return request.wait(timeout)
+
+    def _wait_synchronous(
+        self, request: PendingRequest, timeout: float
+    ) -> tuple[int, ...]:
+        # No engine thread: the caller's own thread drives the batch.
+        self.engine.run_pending_batch()
+        return request.wait(timeout)
+
+    def freeze_event(self, event: int) -> None:
+        """Freeze ``event``: its attendee list is now final."""
+        self._accept(CMD_FREEZE_EVENT, {"event": event})
+
+    def cancel_event(self, event: int) -> None:
+        """Cancel an un-frozen event, releasing every seat it held."""
+        self._accept(CMD_CANCEL_EVENT, {"event": event})
+
+    def run_pending_batch(self) -> int:
+        """Drive one batch synchronously (no-thread mode and tests)."""
+        return self.engine.run_pending_batch()
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    def assignments_of(self, user: int) -> tuple[int, ...]:
+        with self._lock:
+            if not 0 <= user < self.store.n_users:
+                raise ServiceError(f"unknown user {user!r}")
+            return tuple(sorted(self.store.events_of(user)))
+
+    def state_summary(self) -> dict:
+        """A compact, JSON-ready health/state view (the GET /state body)."""
+        with self._lock:
+            store = self.store
+            return {
+                "seq": store.seq,
+                "n_events": store.n_events,
+                "n_users": store.n_users,
+                "n_assignments": store.n_assignments,
+                "open_events": len(store.open_events()),
+                "requests_seen": store.requests_seen,
+                "batches_committed": store.batches_committed,
+                "pending": self.engine.pending,
+                "max_sum": store.max_sum(),
+                "digest": store.digest(),
+            }
+
+    def check_invariants(self) -> None:
+        with self._lock:
+            self.store.check_invariants()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the engine (flushing one final batch) and the journal."""
+        if self._closed:
+            return
+        if self._threaded:
+            self.engine.stop()
+        else:
+            self.engine.run_pending_batch()
+        with self._lock:
+            self._closed = True
+            self.journal.close()
+
+    def __enter__(self) -> "ArrangementService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ArrangementService({self.store!r}, journal={self.journal.path})"

@@ -1,0 +1,230 @@
+"""Write-ahead journal: an fsync'd JSONL log of accepted commands.
+
+Durability contract (the same crash-safe style as the sweep checkpoints
+in :mod:`repro.experiments.runner`, hardened for a serving path):
+
+* the header line names the format and carries the immutable
+  :class:`~repro.service.store.StoreConfig`;
+* every accepted command is appended as one JSON line -- written,
+  flushed and ``fsync``'d **before** the store mutates (write-ahead);
+* records carry contiguous sequence numbers starting at 1, assigned by
+  the journal, so replay can prove it saw every accepted command;
+* a torn *final* line (the crash window is exactly one partial
+  ``write``) is detected -- undecodable JSON or a missing trailing
+  newline -- truncated away, and its command counts as never accepted
+  (the client never got an acknowledgement for it);
+* anything else wrong -- foreign header, mid-file garbage, a sequence
+  gap -- raises :class:`~repro.exceptions.JournalError`: that journal
+  was not produced by this code crashing, and guessing would corrupt
+  state.
+
+:func:`replay` folds a journal back into a fresh
+:class:`~repro.service.store.ArrangementStore`; because the store is a
+pure state machine over records (solver outputs are journaled as
+``commit_batch`` deltas, never re-solved), replay is deterministic and
+independent of the micro-batch boundaries, solver timing, and thread
+scheduling of the process that wrote the journal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.exceptions import JournalError
+from repro.service.store import ArrangementStore, StoreConfig
+
+#: First-line format marker of every service journal.
+JOURNAL_FORMAT = "geacc-service-v1"
+
+
+def _parse_header(line: str, path: Path) -> StoreConfig:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise JournalError(f"{path}: unreadable journal header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != JOURNAL_FORMAT:
+        raise JournalError(
+            f"{path}: not a {JOURNAL_FORMAT} journal "
+            f"(header {str(header)[:80]!r})"
+        )
+    return StoreConfig.from_json(header.get("config", {}))
+
+
+class Journal:
+    """An append-only, fsync'd JSONL write-ahead journal.
+
+    Use :meth:`create` for a fresh journal or :meth:`recover` to open an
+    existing one (truncating a torn tail); both return a journal whose
+    :attr:`seq` continues the record numbering exactly where the file
+    left off.
+    """
+
+    def __init__(self, path: Path, config: StoreConfig, seq: int, handle: IO[bytes]):
+        self.path = path
+        self.config = config
+        self.seq = seq
+        self._handle: IO[bytes] | None = handle
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | Path, config: StoreConfig) -> "Journal":
+        """Start a new journal; refuses to overwrite an existing file."""
+        path = Path(path)
+        if path.exists():
+            raise JournalError(f"{path}: journal already exists (use recover)")
+        header = {"format": JOURNAL_FORMAT, "config": config.to_json()}
+        handle = open(path, "xb")
+        handle.write(_encode(header))
+        handle.flush()
+        os.fsync(handle.fileno())
+        return cls(path, config, seq=0, handle=handle)
+
+    @classmethod
+    def recover(cls, path: str | Path) -> tuple["Journal", ArrangementStore]:
+        """Reopen ``path``, replay it, and continue appending.
+
+        A torn final line is truncated from the file before the journal
+        re-opens for append, so the live file never contains garbage in
+        the middle.
+
+        Returns:
+            ``(journal, store)`` -- the journal positioned after the
+            last durable record, and the store reconstructed from it.
+        """
+        path = Path(path)
+        store, durable_bytes = replay(path)
+        handle = open(path, "r+b")
+        handle.truncate(durable_bytes)
+        handle.seek(0, os.SEEK_END)
+        config = store.config
+        return cls(path, config, seq=store.seq, handle=handle), store
+
+    # ------------------------------------------------------------------
+    # The write path
+    # ------------------------------------------------------------------
+
+    def append(self, cmd: str, args: dict) -> dict:
+        """Durably journal one accepted command; returns the record.
+
+        The record -- ``args`` plus the assigned ``seq`` and ``cmd`` --
+        is on disk (written, flushed, fsync'd) when this returns: the
+        caller may only then mutate the store.
+        """
+        if self._handle is None:
+            raise JournalError(f"{self.path}: journal is closed")
+        record = {"seq": self.seq + 1, "cmd": cmd, **args}
+        self._handle.write(_encode(record))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.seq += 1
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._handle is None else "open"
+        return f"Journal({self.path}, seq={self.seq}, {state})"
+
+
+def _encode(record: dict) -> bytes:
+    return (json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+
+
+def iter_records(path: str | Path) -> Iterator[tuple[StoreConfig | dict, int]]:
+    """Yield ``(header_config | record, end_offset)`` pairs from a journal.
+
+    The first yield is the parsed :class:`StoreConfig`; every later
+    yield is a decoded record dict. ``end_offset`` is the byte offset
+    just past that line -- the durable prefix length if everything after
+    it were torn away.
+
+    A torn final line (no trailing newline, or undecodable JSON on the
+    last line) terminates the iteration silently; torn or undecodable
+    content *before* the final line raises :class:`JournalError`.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise JournalError(f"{path}: cannot read journal: {exc}") from exc
+    if not blob:
+        raise JournalError(f"{path}: empty journal (missing header)")
+    lines = blob.split(b"\n")
+    # A well-formed file ends with a newline, so the final split element
+    # is empty; anything else is the torn tail of a crashed append.
+    torn_tail = lines.pop() != b""
+    offset = 0
+    expected_seq = 1
+    for index, raw in enumerate(lines):
+        line_end = offset + len(raw) + 1
+        is_last = index == len(lines) - 1
+        try:
+            decoded = json.loads(raw.decode("utf-8"))
+            if not isinstance(decoded, dict):
+                raise ValueError(f"record is not an object: {decoded!r}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            if is_last:
+                # Crash window: the final complete-looking line can still
+                # be a partial write whose tail happened to contain '\n'.
+                return
+            raise JournalError(f"{path}:{index + 1}: corrupt record: {exc}") from exc
+        if index == 0:
+            yield _parse_header(raw.decode("utf-8"), path), line_end
+        else:
+            seq = decoded.get("seq")
+            if seq != expected_seq:
+                raise JournalError(
+                    f"{path}:{index + 1}: sequence gap (expected {expected_seq}, "
+                    f"got {seq!r})"
+                )
+            expected_seq += 1
+            yield decoded, line_end
+        offset = line_end
+    if torn_tail:
+        # The bytes after the last newline are a partial append; callers
+        # recovering the journal truncate to the last yielded offset.
+        return
+
+
+def replay(path: str | Path) -> tuple[ArrangementStore, int]:
+    """Reconstruct the store a journal describes.
+
+    Returns:
+        ``(store, durable_bytes)`` -- the rebuilt
+        :class:`ArrangementStore` and the byte length of the durable
+        prefix (everything past it is a torn tail to truncate).
+
+    Raises:
+        JournalError: On a corrupt (not merely torn) journal.
+    """
+    store: ArrangementStore | None = None
+    durable = 0
+    for item, end_offset in iter_records(path):
+        if store is None:
+            if not isinstance(item, StoreConfig):
+                raise JournalError(f"{path}: first record is not a header")
+            store = ArrangementStore(item)
+        else:
+            assert isinstance(item, dict)
+            store.apply(item)
+        durable = end_offset
+    if store is None:
+        raise JournalError(f"{path}: journal holds no durable header")
+    return store, durable

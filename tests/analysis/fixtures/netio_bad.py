@@ -1,0 +1,18 @@
+"""R8 fixture: every server-side network primitive below must be flagged."""
+
+import socket  # line 3
+import socket as sock  # line 4
+import socketserver  # line 5
+import http.server  # line 6
+from http.server import ThreadingHTTPServer  # line 7
+from http import server  # line 8
+from socketserver import TCPServer  # line 9
+
+
+def naked_listeners() -> None:
+    socket.create_server(("", 0))  # line 13
+    sock.socket()  # line 14
+    socketserver.TCPServer(("", 0), None)  # line 15
+    http.server.HTTPServer(("", 0), None)  # line 16
+    server.ThreadingHTTPServer(("", 0), None)  # line 17
+    del ThreadingHTTPServer, TCPServer

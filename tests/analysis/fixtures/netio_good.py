@@ -1,0 +1,18 @@
+"""R8 fixture: client-side HTTP and plain I/O stay silent."""
+
+import json
+import urllib.request
+
+
+def consume_service(base: str) -> dict:
+    # Clients are fine under R8 -- only *being* a server is corralled.
+    with urllib.request.urlopen(base + "/state", timeout=5) as response:
+        payload: dict = json.loads(response.read())
+    return payload
+
+
+def unrelated_attribute_chains() -> str:
+    # Dotted calls that merely resemble module access must not trip the
+    # alias tracking.
+    text = " http.server "
+    return text.strip().upper()

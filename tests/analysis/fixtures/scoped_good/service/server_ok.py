@@ -1,0 +1,10 @@
+"""R8 exemption fixture: under a service/ package, listeners are the point."""
+
+import socket
+from http.server import ThreadingHTTPServer
+
+
+def build_server(handler: object) -> ThreadingHTTPServer:
+    probe = socket.socket()
+    probe.close()
+    return ThreadingHTTPServer(("127.0.0.1", 0), handler)  # type: ignore[arg-type]

@@ -65,7 +65,7 @@ def test_syntax_errors_become_e0_diagnostics(tmp_path: Path) -> None:
 
 def test_rule_table_is_complete() -> None:
     load_rules()
-    assert set(RULES) == {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}
+    assert set(RULES) == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}
     for rule_id, cls in RULES.items():
         assert cls.rule_id == rule_id
         assert cls.title
@@ -75,7 +75,7 @@ def test_rule_table_is_complete() -> None:
 def test_select_and_ignore_filter_rules() -> None:
     assert [r.rule_id for r in load_rules(select=["R1", "R3"])] == ["R1", "R3"]
     assert [r.rule_id for r in load_rules(ignore=["R2"])] == [
-        "R1", "R3", "R4", "R5", "R6", "R7",
+        "R1", "R3", "R4", "R5", "R6", "R7", "R8",
     ]
 
 

@@ -1,0 +1,50 @@
+"""R8: server-side sockets outside repro.service are flagged; inside they pass."""
+
+from tests.analysis.conftest import FIXTURES, hits, lint
+
+
+def test_bad_fixture_fires_on_every_listener_primitive() -> None:
+    findings = lint(FIXTURES / "netio_bad.py", select=["R8"])
+    assert hits(findings) == [
+        ("R8", 3),   # import socket
+        ("R8", 4),   # import socket as sock
+        ("R8", 5),   # import socketserver
+        ("R8", 6),   # import http.server
+        ("R8", 7),   # from http.server import ThreadingHTTPServer
+        ("R8", 8),   # from http import server
+        ("R8", 9),   # from socketserver import TCPServer
+        ("R8", 13),  # socket.create_server(...)
+        ("R8", 14),  # sock.socket()
+        ("R8", 15),  # socketserver.TCPServer(...)
+        ("R8", 16),  # http.server.HTTPServer(...)
+        ("R8", 17),  # server.ThreadingHTTPServer(...)
+    ]
+
+
+def test_messages_route_to_repro_service() -> None:
+    findings = lint(FIXTURES / "netio_bad.py", select=["R8"])
+    assert findings
+    assert all("repro.service" in d.message for d in findings)
+
+
+def test_good_fixture_is_silent_under_r8() -> None:
+    assert lint(FIXTURES / "netio_good.py", select=["R8"]) == []
+
+
+def test_service_package_is_exempt() -> None:
+    # The same primitives under a service/ package directory are the
+    # sanctioned implementation, not a violation.
+    findings = lint(FIXTURES / "scoped_good", select=["R8"])
+    assert findings == []
+
+
+def test_exemption_requires_the_directory_scope() -> None:
+    # Linted as a bare file the service/ scope is gone and R8 fires.
+    findings = lint(
+        FIXTURES / "scoped_good" / "service" / "server_ok.py", select=["R8"]
+    )
+    assert hits(findings) == [
+        ("R8", 3),   # import socket
+        ("R8", 4),   # from http.server import ThreadingHTTPServer
+        ("R8", 8),   # socket.socket()
+    ]

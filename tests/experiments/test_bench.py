@@ -105,3 +105,47 @@ def test_committed_baseline_is_loadable_and_current_format() -> None:
     baseline = Path(__file__).resolve().parents[2] / "BENCH_solvers.json"
     report = load_report(baseline)
     assert report.results, "committed baseline must carry solver timings"
+    assert report.service is not None, (
+        "committed baseline must carry the serving-path scenario"
+    )
+
+
+def test_service_scenario_is_recorded_and_round_trips(
+    quick_report: BenchReport, tmp_path: Path
+) -> None:
+    assert quick_report.service is not None
+    assert quick_report.service.append_seconds > 0
+    assert 0 < quick_report.service.request_p50 <= quick_report.service.request_p99
+    path = tmp_path / "bench.json"
+    write_report(quick_report, path)
+    loaded = load_report(path)
+    assert loaded.service == quick_report.service
+    assert "journal-append" in quick_report.render()
+
+
+def test_service_slowdown_is_a_regression(quick_report: BenchReport) -> None:
+    data = quick_report.to_json()
+    data["service"]["append_seconds"] /= 10.0
+    data["service"]["request_p50"] /= 10.0
+    baseline = BenchReport.from_json(data)
+    messages = compare_reports(quick_report, baseline, max_regression=2.0)
+    assert any("service.journal-append" in m for m in messages)
+    assert any("service.request-p50" in m for m in messages)
+
+
+def test_pre_service_baselines_still_compare(quick_report: BenchReport) -> None:
+    # Reports written before the service scenario existed lack the key:
+    # loading and gating against them must both keep working.
+    data = quick_report.to_json()
+    del data["service"]
+    baseline = BenchReport.from_json(data)
+    assert baseline.service is None
+    assert compare_reports(quick_report, baseline) == []
+
+
+def test_bench_can_skip_the_service_scenario() -> None:
+    report = run_bench(
+        solvers=("random-v",), quick=True, scale="smoke", with_service=False
+    )
+    assert report.service is None
+    assert "service" not in report.to_json()

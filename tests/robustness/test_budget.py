@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.exceptions import BudgetExceededError, IndexError_, NNIndexError
+from repro.exceptions import BudgetExceededError, NNIndexError
 from repro.robustness import Budget
 
 
@@ -102,7 +102,11 @@ class TestProbesAndMarks:
             Budget(clock_stride=0)
 
 
-def test_nn_index_error_keeps_deprecated_alias():
-    # PR 2 renamed IndexError_ (shadow-prone) to NNIndexError; the old
-    # name must keep resolving for downstream code until removed.
-    assert IndexError_ is NNIndexError
+def test_nn_index_error_deprecated_alias_removed():
+    # PR 2 renamed IndexError_ (shadow-prone) to NNIndexError and kept a
+    # one-release compatibility alias; PR 5 removed it. Catching the new
+    # name must work, resolving the old one must not.
+    import repro.exceptions
+
+    assert issubclass(NNIndexError, repro.exceptions.ReproError)
+    assert not hasattr(repro.exceptions, "IndexError_")

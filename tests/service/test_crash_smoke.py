@@ -1,0 +1,16 @@
+"""End-to-end crash recovery, in-suite: the CI smoke scenario verbatim.
+
+Spawns real ``geacc serve`` subprocesses, kills one with SIGKILL and
+asserts the journal brings the successor back to the exact pre-crash
+state (digest equality against an independent replay). Slow-ish (two
+interpreter startups) but it is the acceptance criterion, so tier-1
+runs it too, not just CI.
+"""
+
+from pathlib import Path
+
+from repro.service.smoke import run_smoke
+
+
+def test_kill9_recovery_preserves_state(tmp_path: Path) -> None:
+    run_smoke(workdir=tmp_path)

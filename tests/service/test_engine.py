@@ -1,0 +1,174 @@
+"""MicroBatchEngine: batching, admission control, quality guarantees."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ServiceError, ServiceOverloadedError
+from repro.service.engine import MicroBatchEngine, PendingRequest
+from repro.service.frontend import ArrangementService
+from repro.service.journal import replay
+from repro.service.store import StoreConfig
+
+CONFIG = StoreConfig(dimension=2, t=10.0)
+
+
+def sync_service(tmp_path: Path, **kwargs) -> ArrangementService:
+    return ArrangementService.create(
+        tmp_path / "j.jsonl", CONFIG, threaded=False, **kwargs
+    )
+
+
+def test_blocking_request_is_assigned(tmp_path: Path) -> None:
+    with sync_service(tmp_path) as service:
+        event = service.post_event(2, [1.0, 1.0])
+        user = service.register_user(1, [1.5, 1.5])
+        assert service.request_assignment(user) == (event,)
+        assert service.assignments_of(user) == (event,)
+        assert service.engine.batches_solved == 1
+
+
+def test_burst_coalesces_into_one_batch_and_one_commit(tmp_path: Path) -> None:
+    with sync_service(tmp_path) as service:
+        service.post_event(4, [5.0, 5.0])
+        requests = []
+        for k in range(4):
+            user = service.register_user(1, [4.0 + 0.5 * k, 5.0])
+            request = service.request_assignment(user, wait=False)
+            assert isinstance(request, PendingRequest)
+            requests.append(request)
+        seq_before = service.store.seq
+        assert service.run_pending_batch() == 4
+        assert service.engine.batches_solved == 1
+        # One commit_batch record covers the whole burst.
+        assert service.store.seq == seq_before + 1
+        assert service.store.batches_committed == 1
+        for request in requests:
+            assert request.wait(1.0) == (0,)
+            assert request.latency_s is not None and request.latency_s >= 0
+
+
+def test_admission_control_rejects_before_journaling(tmp_path: Path) -> None:
+    with sync_service(tmp_path, max_pending=1) as service:
+        service.post_event(1, [1.0, 1.0])
+        user = service.register_user(1, [1.0, 1.0])
+        service.request_assignment(user, wait=False)
+        seq_before = service.store.seq
+        with pytest.raises(ServiceOverloadedError, match="queue full"):
+            service.request_assignment(user, wait=False)
+        assert service.store.seq == seq_before  # rejected pre-journal
+        service.run_pending_batch()
+
+
+def test_unassignable_request_commits_nothing(tmp_path: Path) -> None:
+    with sync_service(tmp_path) as service:
+        service.post_event(1, [0.0, 0.0])
+        # Maximum distance in [0,10]^2 => sim exactly 0 => no pair.
+        user = service.register_user(1, [10.0, 10.0])
+        assert service.request_assignment(user) == ()
+        assert service.store.batches_committed == 0
+        assert service.engine.batches_solved == 1
+
+
+def test_rebatching_may_reshuffle_open_seats_only(tmp_path: Path) -> None:
+    with sync_service(tmp_path) as service:
+        scarce = service.post_event(1, [5.0, 5.0])
+        far = service.register_user(1, [8.0, 8.0])
+        assert service.request_assignment(far) == (scarce,)
+        # A better-matched user shows up: the engine may move the seat.
+        near = service.register_user(1, [5.5, 5.5])
+        assert service.request_assignment(near) == (scarce,)
+        assert service.assignments_of(far) == ()
+        service.check_invariants()
+
+
+def test_frozen_events_are_untouchable(tmp_path: Path) -> None:
+    with sync_service(tmp_path) as service:
+        frozen = service.post_event(1, [5.0, 5.0])
+        keeper = service.register_user(1, [8.0, 8.0])
+        assert service.request_assignment(keeper) == (frozen,)
+        service.freeze_event(frozen)
+        # The perfectly-matched latecomer cannot displace the frozen seat.
+        near = service.register_user(1, [5.0, 5.0])
+        assert service.request_assignment(near) == ()
+        assert service.assignments_of(keeper) == (frozen,)
+
+
+def test_frozen_commitments_block_conflicting_open_events(tmp_path: Path) -> None:
+    with sync_service(tmp_path) as service:
+        first = service.post_event(1, [5.0, 5.0])
+        user = service.register_user(2, [5.0, 5.0])
+        assert service.request_assignment(user) == (first,)
+        service.freeze_event(first)
+        # An open event conflicting with the user's frozen commitment
+        # must never be handed to them, however good the similarity.
+        rival = service.post_event(1, [5.0, 5.0], conflicts=[first])
+        assert service.request_assignment(user) == (first,)
+        assert service.assignments_of(user) == (first,)
+        service.check_invariants()
+
+
+def test_quality_never_regresses_across_batches(tmp_path: Path) -> None:
+    with sync_service(tmp_path) as service:
+        service.post_event(2, [3.0, 3.0])
+        service.post_event(2, [7.0, 7.0])
+        best_so_far = 0.0
+        for k in range(6):
+            user = service.register_user(1, [2.0 + k, 8.0 - k])
+            service.request_assignment(user)
+            now = service.store.max_sum()
+            assert now >= best_so_far - 1e-12
+            best_so_far = now
+        service.check_invariants()
+
+
+def test_every_commit_is_replayable(tmp_path: Path) -> None:
+    with sync_service(tmp_path) as service:
+        service.post_event(2, [2.0, 2.0])
+        service.post_event(1, [8.0, 8.0])
+        for k in range(5):
+            user = service.register_user(1, [1.0 + 2 * k, 9.0 - 2 * k])
+            service.request_assignment(user)
+        service.cancel_event(1)
+        live = service.store.digest()
+    recovered, _ = replay(tmp_path / "j.jsonl")
+    assert recovered.digest() == live
+
+
+def test_threaded_engine_serves_and_drains_on_close(tmp_path: Path) -> None:
+    service = ArrangementService.create(
+        tmp_path / "j.jsonl", CONFIG, threaded=True, batch_ms=1.0
+    )
+    with service:
+        event = service.post_event(2, [1.0, 1.0])
+        user = service.register_user(1, [1.0, 1.0])
+        assert service.request_assignment(user, timeout=30.0) == (event,)
+        straggler = service.register_user(1, [1.2, 1.2])
+        request = service.request_assignment(straggler, wait=False)
+    # close() stops the engine after one final batch: no lost requests.
+    assert request.done
+    with pytest.raises(ServiceError, match="closed"):
+        service.post_event(1, [1.0, 1.0])
+
+
+def test_engine_parameter_validation(tmp_path: Path) -> None:
+    with sync_service(tmp_path) as service:
+        with pytest.raises(ServiceError, match="batch_ms"):
+            MicroBatchEngine(service, batch_ms=-1.0)
+        with pytest.raises(ServiceError, match="solve_timeout"):
+            MicroBatchEngine(service, solve_timeout=0.0)
+        with pytest.raises(ServiceError, match="max_pending"):
+            MicroBatchEngine(service, max_pending=0)
+
+
+def test_store_journal_seq_mismatch_is_refused(tmp_path: Path) -> None:
+    from repro.service.journal import Journal
+    from repro.service.store import ArrangementStore
+
+    journal = Journal.create(tmp_path / "j.jsonl", CONFIG)
+    store = ArrangementStore(CONFIG)
+    store.apply({"seq": 1, "cmd": "register_user", "capacity": 1,
+                 "attributes": [1.0, 1.0]})
+    with pytest.raises(ServiceError, match="does not match"):
+        ArrangementService(store, journal, threaded=False)
+    journal.close()

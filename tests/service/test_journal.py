@@ -1,0 +1,145 @@
+"""Journal: write-ahead durability, torn tails, corruption, recovery."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import JournalError
+from repro.service.journal import JOURNAL_FORMAT, Journal, iter_records, replay
+from repro.service.store import ArrangementStore, StoreConfig
+
+CONFIG = StoreConfig(dimension=2, t=10.0)
+
+
+def write_sample(path: Path) -> ArrangementStore:
+    """A small journal plus the store its records produce."""
+    journal = Journal.create(path, CONFIG)
+    store = ArrangementStore(CONFIG)
+    commands = [
+        ("post_event", {"capacity": 2, "attributes": [1.0, 1.0], "conflicts": []}),
+        ("register_user", {"capacity": 1, "attributes": [2.0, 2.0]}),
+        ("request_assignment", {"user": 0}),
+        ("commit_batch", {"assign": [[0, 0]], "unassign": [], "users": [0]}),
+        ("freeze_event", {"event": 0}),
+    ]
+    with journal:
+        for cmd, args in commands:
+            store.apply(journal.append(cmd, args))
+    return store
+
+
+def test_create_refuses_existing_file(tmp_path: Path) -> None:
+    path = tmp_path / "j.jsonl"
+    Journal.create(path, CONFIG).close()
+    with pytest.raises(JournalError, match="already exists"):
+        Journal.create(path, CONFIG)
+
+
+def test_append_assigns_contiguous_seqs_and_replay_rebuilds(tmp_path: Path) -> None:
+    path = tmp_path / "j.jsonl"
+    live = write_sample(path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header["format"] == JOURNAL_FORMAT
+    assert [json.loads(line)["seq"] for line in lines[1:]] == [1, 2, 3, 4, 5]
+    recovered, durable = replay(path)
+    assert durable == len(path.read_bytes())
+    assert recovered == live
+    assert recovered.seq == 5
+    assert recovered.events_of(0) == {0}
+
+
+def test_closed_journal_refuses_appends(tmp_path: Path) -> None:
+    journal = Journal.create(tmp_path / "j.jsonl", CONFIG)
+    journal.close()
+    with pytest.raises(JournalError, match="closed"):
+        journal.append("request_assignment", {"user": 0})
+
+
+def test_torn_partial_write_is_truncated_silently(tmp_path: Path) -> None:
+    path = tmp_path / "j.jsonl"
+    live = write_sample(path)
+    intact = path.read_bytes()
+    path.write_bytes(intact + b'{"seq": 6, "cmd": "freez')
+    recovered, durable = replay(path)
+    assert durable == len(intact)
+    assert recovered == live
+
+
+def test_torn_line_with_accidental_newline_is_tolerated(tmp_path: Path) -> None:
+    # A partial write whose garbage happens to end in '\n' still only
+    # ever occupies the final line; it must not count as corruption.
+    path = tmp_path / "j.jsonl"
+    live = write_sample(path)
+    intact = path.read_bytes()
+    path.write_bytes(intact + b'{"seq": 6, "cm\n')
+    recovered, durable = replay(path)
+    assert durable == len(intact)
+    assert recovered == live
+
+
+def test_mid_file_garbage_is_corruption(tmp_path: Path) -> None:
+    path = tmp_path / "j.jsonl"
+    write_sample(path)
+    lines = path.read_bytes().split(b"\n")
+    lines[2] = b"!!not json!!"
+    path.write_bytes(b"\n".join(lines))
+    with pytest.raises(JournalError, match="corrupt record"):
+        replay(path)
+
+
+def test_sequence_gap_is_corruption(tmp_path: Path) -> None:
+    path = tmp_path / "j.jsonl"
+    write_sample(path)
+    blob = path.read_bytes()
+    path.write_bytes(blob.replace(b'"seq":3', b'"seq":7'))
+    with pytest.raises(JournalError, match="sequence gap"):
+        replay(path)
+
+
+def test_foreign_header_is_rejected(tmp_path: Path) -> None:
+    path = tmp_path / "j.jsonl"
+    path.write_text(json.dumps({"format": "not-a-journal"}) + "\n")
+    with pytest.raises(JournalError, match=JOURNAL_FORMAT):
+        replay(path)
+
+
+def test_empty_file_is_rejected(tmp_path: Path) -> None:
+    path = tmp_path / "j.jsonl"
+    path.write_bytes(b"")
+    with pytest.raises(JournalError, match="empty journal"):
+        replay(path)
+
+
+def test_missing_file_is_rejected(tmp_path: Path) -> None:
+    with pytest.raises(JournalError, match="cannot read"):
+        replay(tmp_path / "absent.jsonl")
+
+
+def test_recover_truncates_and_continues_numbering(tmp_path: Path) -> None:
+    path = tmp_path / "j.jsonl"
+    live = write_sample(path)
+    intact = path.read_bytes()
+    path.write_bytes(intact + b'{"seq": 6, "torn": ')
+    journal, store = Journal.recover(path)
+    with journal:
+        assert store == live
+        assert journal.seq == store.seq == 5
+        assert path.read_bytes() == intact  # torn tail gone from disk
+        record = journal.append("request_assignment", {"user": 0})
+        assert record["seq"] == 6
+        store.apply(record)
+    recovered, _ = replay(path)
+    assert recovered == store
+
+
+def test_iter_records_reports_durable_offsets(tmp_path: Path) -> None:
+    path = tmp_path / "j.jsonl"
+    write_sample(path)
+    blob = path.read_bytes()
+    offsets = [offset for _, offset in iter_records(path)]
+    assert offsets[-1] == len(blob)
+    assert offsets == sorted(offsets)
+    # Each offset lands exactly one byte past a newline.
+    assert all(blob[offset - 1:offset] == b"\n" for offset in offsets)
