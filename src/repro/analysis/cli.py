@@ -6,6 +6,9 @@ Usage::
     geacc-lint --list-rules           # show the rule table
     geacc-lint --select R1,R5 src     # run a subset
     geacc-lint --ignore R4 src        # run all but some
+    geacc-lint --format json src      # one JSON object per finding
+    geacc-lint --jobs 0 src           # fan files out across all cores
+    geacc-lint --exclude 'fixtures' t # skip matching subtrees
 
 Also reachable as ``geacc lint`` (same flags) and
 ``python -m repro.analysis.cli``.
@@ -14,6 +17,7 @@ Also reachable as ``geacc lint`` (same flags) and
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -52,6 +56,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--statistics", action="store_true",
         help="append a per-rule findings count",
     )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format: grep-friendly text (default) or one JSON "
+        "object per diagnostic (includes suppressed findings, marked)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for parsing and per-file rules "
+        "(default: 1; 0 = all cores); output is identical to --jobs 1",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=None, metavar="GLOB",
+        help="skip files whose root-relative path matches GLOB "
+        "(a bare directory name excludes its whole subtree; repeatable)",
+    )
     return parser
 
 
@@ -83,6 +102,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.paths,
             select=select,
             ignore=_split_ids(args.ignore),
+            # JSON consumers get the full audit picture; text output
+            # stays quiet about what directives already silenced.
+            include_suppressed=(args.format == "json"),
+            jobs=args.jobs,
+            exclude=args.exclude,
         )
     except ValueError as exc:  # unknown rule ids in --select/--ignore
         print(f"geacc-lint: {exc}", file=sys.stderr)
@@ -90,15 +114,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     except OSError as exc:  # unreadable path
         print(f"geacc-lint: {exc}", file=sys.stderr)
         return 2
-    for diagnostic in findings:
-        print(diagnostic.render())
-    if args.statistics and findings:
-        counts: dict[str, int] = {}
+    if args.format == "json":
         for diagnostic in findings:
+            print(json.dumps(diagnostic.to_json(), sort_keys=True))
+    else:
+        for diagnostic in findings:
+            print(diagnostic.render())
+    active = [d for d in findings if not d.suppressed]
+    if args.statistics and active:
+        counts: dict[str, int] = {}
+        for diagnostic in active:
             counts[diagnostic.rule_id] = counts.get(diagnostic.rule_id, 0) + 1
         summary = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
-        print(f"-- {len(findings)} finding(s) ({summary})")
-    return 1 if findings else 0
+        print(f"-- {len(active)} finding(s) ({summary})")
+    return 1 if active else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,260 @@
+"""A small worklist fixpoint engine over :class:`repro.analysis.cfg.CFG`.
+
+The engine is parameterised by an :class:`Analysis`: direction
+(forward/backward), join flavour (may = union over any path, must =
+intersection over all paths), a per-statement transfer function, and an
+optional edge-refinement hook.  Facts are opaque to the engine except
+for one convention: ``None`` is the *unreachable* bottom -- blocks no
+path reaches keep ``None`` and their statements are never transferred,
+so rules do not report on dead code.
+
+Exceptional edges get special treatment.  The CFG builder isolates each
+possibly-raising statement in its own block, so the fact flowing along
+an ``exc`` edge is the source block's **entry** fact: the exception
+fired mid-statement, before any binding the statement would have
+performed.  That is exactly what resource-leak analysis needs -- in ::
+
+    segment = shared_memory.SharedMemory(create=True, size=n)
+
+a raise inside the constructor means the caller never held the segment,
+while a raise in the *next* statement means it did.  Normal edges carry
+the source block's exit fact as usual.
+
+Typical use (see :mod:`repro.analysis.typestate` for real ones)::
+
+    class Reaching(Analysis):
+        direction = FORWARD
+        def initial(self, cfg):
+            return frozenset()
+        def join(self, left, right):
+            return left | right
+        def transfer_stmt(self, stmt, fact):
+            ...
+
+    solution = solve(cfg, Reaching())
+    for block, stmt, before, after in solution.stmt_facts():
+        ...
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro.analysis.cfg import CFG, EXC, Block, Edge
+
+#: Analysis directions.
+FORWARD = "forward"
+BACKWARD = "backward"
+
+#: Join flavours (documentation-level; ``Analysis.join`` implements one).
+MAY = "may"
+MUST = "must"
+
+FactT = TypeVar("FactT")
+
+
+class Analysis(Generic[FactT]):
+    """One dataflow problem: direction, lattice, transfer.
+
+    Subclasses override :meth:`initial`, :meth:`join` and
+    :meth:`transfer_stmt` (or :meth:`transfer_block` for block-at-a-time
+    transfer).  ``None`` is reserved for "unreachable" and never reaches
+    the hooks.
+    """
+
+    #: :data:`FORWARD` or :data:`BACKWARD`.
+    direction: str = FORWARD
+    #: :data:`MAY` or :data:`MUST`; informational (``join`` is the law).
+    mode: str = MAY
+
+    def initial(self, cfg: CFG) -> FactT:
+        """The boundary fact (function entry, or exit when backward)."""
+        raise NotImplementedError
+
+    def join(self, left: FactT, right: FactT) -> FactT:
+        """Combine facts where paths meet (union for may, intersection
+        for must)."""
+        raise NotImplementedError
+
+    def transfer_stmt(self, stmt: ast.stmt, fact: FactT) -> FactT:
+        """Fact after executing one simple statement (identity default)."""
+        return fact
+
+    def transfer_block(self, block: Block, fact: FactT) -> FactT:
+        """Fact after a whole block; default folds :meth:`transfer_stmt`.
+
+        Backward analyses fold statements in reverse source order.
+        """
+        stmts = block.stmts if self.direction == FORWARD else block.stmts[::-1]
+        for stmt in stmts:
+            fact = self.transfer_stmt(stmt, fact)
+        return fact
+
+    def refine(self, edge: Edge, fact: FactT) -> FactT:
+        """Adjust the fact flowing along a refined branch edge.
+
+        Called (forward direction only) for edges carrying a
+        ``(name, "none"|"notnone")`` tag; the default keeps the fact.
+        """
+        return fact
+
+    def transfer_exc(self, block: Block, fact: FactT) -> FactT:
+        """The fact flowing along an ``exc`` edge out of ``block``.
+
+        ``fact`` is the block's *entry* fact (the raise happened
+        mid-statement).  The default propagates it unchanged; analyses
+        may apply the non-binding parts of the statement -- e.g.
+        resource tracking counts ``lease.close()`` as released even on
+        its own exceptional edge, else every release inside a
+        ``finally`` would look like a leak path.
+        """
+        return fact
+
+
+@dataclass
+class Solution(Generic[FactT]):
+    """The fixpoint: per-block entry/exit facts plus statement walking.
+
+    ``None`` entries mark unreachable blocks.
+    """
+
+    cfg: CFG
+    analysis: Analysis[FactT]
+    in_facts: dict[int, FactT | None] = field(default_factory=dict)
+    out_facts: dict[int, FactT | None] = field(default_factory=dict)
+
+    def stmt_facts(self) -> Iterator[tuple[Block, ast.stmt, FactT, FactT]]:
+        """Yield ``(block, stmt, fact_before, fact_after)`` per statement.
+
+        Statements in unreachable blocks are skipped; iteration follows
+        the analysis direction so diagnostics come out in execution
+        order for forward problems.
+        """
+        forward = self.analysis.direction == FORWARD
+        for idx in self.cfg.rpo():
+            block = self.cfg.blocks[idx]
+            fact = self.in_facts[idx] if forward else self.out_facts[idx]
+            if fact is None:
+                continue
+            stmts = block.stmts if forward else block.stmts[::-1]
+            for stmt in stmts:
+                after = self.analysis.transfer_stmt(stmt, fact)
+                yield block, stmt, fact, after
+                fact = after
+
+
+def _edge_value(
+    cfg: CFG,
+    analysis: Analysis[FactT],
+    edge: Edge,
+    in_facts: dict[int, FactT | None],
+    out_facts: dict[int, FactT | None],
+) -> FactT | None:
+    """The fact flowing along ``edge`` in a forward analysis."""
+    if edge.kind == EXC:
+        value = in_facts[edge.src]
+        if value is not None:
+            value = analysis.transfer_exc(cfg.blocks[edge.src], value)
+    else:
+        value = out_facts[edge.src]
+    if value is not None and edge.refine is not None:
+        value = analysis.refine(edge, value)
+    return value
+
+
+def _join_all(analysis: Analysis[FactT], values: list[FactT]) -> FactT | None:
+    if not values:
+        return None
+    result = values[0]
+    for value in values[1:]:
+        result = analysis.join(result, value)
+    return result
+
+
+def solve(cfg: CFG, analysis: Analysis[FactT]) -> Solution[FactT]:
+    """Run ``analysis`` to fixpoint over ``cfg``."""
+    if analysis.direction == FORWARD:
+        return _solve_forward(cfg, analysis)
+    return _solve_backward(cfg, analysis)
+
+
+def _solve_forward(cfg: CFG, analysis: Analysis[FactT]) -> Solution[FactT]:
+    solution: Solution[FactT] = Solution(cfg, analysis)
+    order = cfg.rpo()
+    for idx in order:
+        solution.in_facts[idx] = None
+        solution.out_facts[idx] = None
+    solution.in_facts[cfg.entry] = analysis.initial(cfg)
+    solution.out_facts[cfg.entry] = analysis.transfer_block(
+        cfg.blocks[cfg.entry], analysis.initial(cfg)
+    )
+
+    changed = True
+    while changed:
+        changed = False
+        for idx in order:
+            if idx == cfg.entry:
+                in_fact: FactT | None = analysis.initial(cfg)
+            else:
+                incoming = [
+                    value
+                    for edge in cfg.preds(idx)
+                    if (
+                        value := _edge_value(
+                            cfg, analysis, edge, solution.in_facts, solution.out_facts
+                        )
+                    )
+                    is not None
+                ]
+                in_fact = _join_all(analysis, incoming)
+            out_fact = (
+                None
+                if in_fact is None
+                else analysis.transfer_block(cfg.blocks[idx], in_fact)
+            )
+            if (
+                in_fact != solution.in_facts[idx]
+                or out_fact != solution.out_facts[idx]
+            ):
+                solution.in_facts[idx] = in_fact
+                solution.out_facts[idx] = out_fact
+                changed = True
+    return solution
+
+
+def _solve_backward(cfg: CFG, analysis: Analysis[FactT]) -> Solution[FactT]:
+    solution: Solution[FactT] = Solution(cfg, analysis)
+    order = cfg.rpo()[::-1]
+    for idx in order:
+        solution.in_facts[idx] = None
+        solution.out_facts[idx] = None
+
+    changed = True
+    while changed:
+        changed = False
+        for idx in order:
+            if idx == cfg.exit:
+                out_fact: FactT | None = analysis.initial(cfg)
+            else:
+                outgoing = [
+                    value
+                    for edge in cfg.succs(idx)
+                    if (value := solution.in_facts[edge.dst]) is not None
+                ]
+                out_fact = _join_all(analysis, outgoing)
+            in_fact = (
+                None
+                if out_fact is None
+                else analysis.transfer_block(cfg.blocks[idx], out_fact)
+            )
+            if (
+                in_fact != solution.in_facts[idx]
+                or out_fact != solution.out_facts[idx]
+            ):
+                solution.in_facts[idx] = in_fact
+                solution.out_facts[idx] = out_fact
+                changed = True
+    return solution

@@ -23,10 +23,16 @@ class Diagnostic:
             command line, joined with the in-tree relative path).
         line: 1-based line of the finding.
         col: 0-based column of the finding (AST convention).
-        rule_id: Short identifier, e.g. ``R1`` .. ``R5`` (or ``E0`` for
-            files the engine could not parse).
+        rule_id: Short identifier, e.g. ``R1`` .. ``R13`` (or ``E0``
+            for files the engine could not parse).
         message: Human-readable explanation, including the suggested
             fix where one exists.
+        suppressed: True when an inline ``# geacc-lint: disable``
+            directive silenced this finding. Suppressed diagnostics are
+            normally dropped by the engine; with
+            ``include_suppressed=True`` they are kept (marked) so
+            machine consumers can audit what the directives hide, but
+            they never affect the exit code.
     """
 
     path: str
@@ -34,7 +40,26 @@ class Diagnostic:
     col: int
     rule_id: str
     message: str
+    suppressed: bool = False
 
     def render(self) -> str:
         """Format as ``path:line:col: RULE message``."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        note = "  [suppressed]" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}{note}"
+        )
+
+    def to_json(self) -> dict[str, object]:
+        """A flat JSON-ready mapping (one object per finding).
+
+        Keys are stable API: ``rule``, ``path``, ``line``, ``col``,
+        ``message``, ``suppressed``.
+        """
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }

@@ -9,8 +9,10 @@ pattern knowledge lives in the rule classes (see
 
 from __future__ import annotations
 
+import fnmatch
+import functools
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path, PurePosixPath
 
 import ast
@@ -72,7 +74,24 @@ class Project:
         return [m for m in self.modules if m.relpath.startswith(prefix)]
 
 
-def _discover(paths: Sequence[str | Path]) -> list[tuple[Path, str, str]]:
+def _excluded(relpath: str, exclude: Sequence[str]) -> bool:
+    """True if ``relpath`` matches any exclusion glob.
+
+    A pattern matches the file's root-relative POSIX path, and a
+    pattern naming a directory (``fixtures`` or ``fixtures/``) excludes
+    the whole tree under it.
+    """
+    for pattern in exclude:
+        if fnmatch.fnmatch(relpath, pattern):
+            return True
+        if fnmatch.fnmatch(relpath, pattern.rstrip("/") + "/*"):
+            return True
+    return False
+
+
+def _discover(
+    paths: Sequence[str | Path], exclude: Sequence[str] | None = None
+) -> list[tuple[Path, str, str]]:
     """Expand input paths into ``(abs_path, display_path, relpath)`` triples."""
     found: list[tuple[Path, str, str]] = []
     for raw in paths:
@@ -80,79 +99,199 @@ def _discover(paths: Sequence[str | Path]) -> list[tuple[Path, str, str]]:
         if root.is_dir():
             for file_path in sorted(root.rglob("*.py")):
                 rel = file_path.relative_to(root).as_posix()
+                if exclude and _excluded(rel, exclude):
+                    continue
                 found.append((file_path, str(Path(raw) / rel), rel))
         else:
+            if exclude and _excluded(root.name, exclude):
+                continue
             found.append((root, str(raw), root.name))
     return found
 
 
-def parse_project(paths: Sequence[str | Path]) -> tuple[Project, list[Diagnostic]]:
+def _parse_one(
+    file_path: Path, display: str, rel: str
+) -> ParsedModule | Diagnostic:
+    """Parse one file; a syntax error comes back as its ``E0`` finding."""
+    source = file_path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(file_path))
+    except SyntaxError as exc:
+        return Diagnostic(
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule_id=SYNTAX_ERROR_ID,
+            message=f"syntax error: {exc.msg}",
+        )
+    lines = source.splitlines()
+    return ParsedModule(
+        path=file_path,
+        display_path=display,
+        relpath=rel,
+        tree=tree,
+        lines=lines,
+        suppressions=parse_suppressions(lines, tree),
+    )
+
+
+def parse_project(
+    paths: Sequence[str | Path], exclude: Sequence[str] | None = None
+) -> tuple[Project, list[Diagnostic]]:
     """Parse every discovered file; syntax errors become ``E0`` findings."""
     project = Project(roots=[Path(p) for p in paths])
     errors: list[Diagnostic] = []
-    for file_path, display, rel in _discover(paths):
-        source = file_path.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(source, filename=str(file_path))
-        except SyntaxError as exc:
-            errors.append(
-                Diagnostic(
-                    path=display,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule_id=SYNTAX_ERROR_ID,
-                    message=f"syntax error: {exc.msg}",
-                )
-            )
-            continue
-        lines = source.splitlines()
-        project.modules.append(
-            ParsedModule(
-                path=file_path,
-                display_path=display,
-                relpath=rel,
-                tree=tree,
-                lines=lines,
-                suppressions=parse_suppressions(lines),
-            )
-        )
+    for file_path, display, rel in _discover(paths, exclude):
+        parsed = _parse_one(file_path, display, rel)
+        if isinstance(parsed, Diagnostic):
+            errors.append(parsed)
+        else:
+            project.modules.append(parsed)
     return project, errors
 
 
-def lint_project(project: Project, rules: Sequence[Rule]) -> list[Diagnostic]:
-    """Run ``rules`` over a parsed project and filter suppressed findings."""
+def _check_one(
+    task: tuple[str, str, str], rule_ids: tuple[str, ...]
+) -> tuple[ParsedModule | None, list[Diagnostic]]:
+    """Worker side of ``--jobs``: parse one file, run the module rules.
+
+    Module-level (and partial-friendly) so it pickles into spawn
+    workers; the parent assembles the returned modules into a
+    :class:`Project` for the project-level pass and does all
+    suppression filtering itself.
+    """
+    path_str, display, rel = task
+    parsed = _parse_one(Path(path_str), display, rel)
+    if isinstance(parsed, Diagnostic):
+        return None, [parsed]
+    rules = load_rules(select=rule_ids)
     findings: list[Diagnostic] = []
-    suppression_by_display = {m.display_path: m.suppressions for m in project.modules}
-    for module in project.modules:
-        for rule in rules:
-            findings.extend(rule.check_module(module))
+    for rule in rules:
+        findings.extend(rule.check_module(parsed))
+    return parsed, findings
+
+
+def lint_project(
+    project: Project,
+    rules: Sequence[Rule],
+    include_suppressed: bool = False,
+    module_findings: Sequence[Diagnostic] | None = None,
+) -> list[Diagnostic]:
+    """Run ``rules`` over a parsed project and filter suppressed findings.
+
+    Args:
+        project: The parsed file set.
+        rules: Rule instances to run.
+        include_suppressed: Keep findings silenced by inline directives,
+            marked ``suppressed=True``, instead of dropping them.
+        module_findings: Per-module findings already computed elsewhere
+            (the ``--jobs`` worker pass); when given, only the
+            project-level rules run here.
+    """
+    findings: list[Diagnostic] = list(module_findings or ())
+    if module_findings is None:
+        for module in project.modules:
+            for rule in rules:
+                findings.extend(rule.check_module(module))
     for rule in rules:
         findings.extend(rule.check_project(project))
-    kept = [
-        diag
-        for diag in findings
-        if not _is_suppressed(suppression_by_display, diag)
-    ]
+    by_display = {m.display_path: m.suppressions for m in project.modules}
+    unsuppressible = {r.rule_id for r in rules if not r.suppressible}
+    kept: list[Diagnostic] = []
+    for diag in findings:
+        if _is_suppressed(by_display, unsuppressible, diag):
+            if include_suppressed:
+                kept.append(replace(diag, suppressed=True))
+        else:
+            kept.append(diag)
     return sorted(set(kept))
 
 
 def _is_suppressed(
-    by_display: dict[str, SuppressionIndex], diag: Diagnostic
+    by_display: dict[str, SuppressionIndex],
+    unsuppressible: set[str],
+    diag: Diagnostic,
 ) -> bool:
+    if diag.rule_id in unsuppressible:
+        return False
     index = by_display.get(diag.path)
     return index is not None and index.is_suppressed(diag.line, diag.rule_id)
+
+
+def _run_lint_parallel(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule],
+    include_suppressed: bool,
+    jobs: int,
+    exclude: Sequence[str] | None,
+) -> list[Diagnostic]:
+    """The ``--jobs N`` path: per-file parse + module rules in workers.
+
+    Raises :class:`~repro.parallel.executor.ParallelUnavailableError`
+    when no usable start method exists; the caller degrades to serial.
+    """
+    from repro.parallel.maplib import parallel_map
+
+    tasks = [
+        (str(file_path), display, rel)
+        for file_path, display, rel in _discover(paths, exclude)
+    ]
+    worker = functools.partial(
+        _check_one, rule_ids=tuple(r.rule_id for r in rules)
+    )
+    results = parallel_map(worker, tasks, jobs)
+    project = Project(roots=[Path(p) for p in paths])
+    errors: list[Diagnostic] = []
+    module_findings: list[Diagnostic] = []
+    for module, diags in results:
+        if module is None:
+            errors.extend(diags)
+        else:
+            project.modules.append(module)
+            module_findings.extend(diags)
+    return sorted(
+        errors
+        + lint_project(
+            project,
+            rules,
+            include_suppressed=include_suppressed,
+            module_findings=module_findings,
+        )
+    )
 
 
 def run_lint(
     paths: Sequence[str | Path],
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    *,
+    include_suppressed: bool = False,
+    jobs: int = 1,
+    exclude: Sequence[str] | None = None,
 ) -> list[Diagnostic]:
     """Lint ``paths`` with the registered rules; the one-call API.
 
-    Returns the sorted, suppression-filtered findings (syntax errors
-    first-class among them, never filtered).
+    Returns the sorted findings (syntax errors first-class among them,
+    never filtered). Suppressed findings are dropped unless
+    ``include_suppressed`` is set, in which case they are kept with
+    ``suppressed=True``; callers deriving an exit code must look only
+    at unsuppressed ones. ``jobs > 1`` fans per-file work out through
+    :func:`repro.parallel.maplib.parallel_map` (``0`` = all cores) and
+    produces byte-identical output to ``jobs=1``; if process
+    parallelism is unavailable the engine silently runs serially.
+    ``exclude`` holds root-relative globs for files to skip.
     """
-    project, errors = parse_project(paths)
     rules = load_rules(select=select, ignore=ignore)
-    return sorted(errors + lint_project(project, rules))
+    if jobs != 1:
+        # Imported lazily: the serial path must not pay for (or depend
+        # on) the numeric stack repro.parallel pulls in.
+        from repro.parallel.executor import ParallelUnavailableError
+
+        try:
+            return _run_lint_parallel(paths, rules, include_suppressed, jobs, exclude)
+        except ParallelUnavailableError:
+            pass  # fall through to the serial path
+    project, errors = parse_project(paths, exclude)
+    return sorted(
+        errors + lint_project(project, rules, include_suppressed=include_suppressed)
+    )

@@ -27,15 +27,20 @@ class Rule:
     Class attributes double as the ``--list-rules`` documentation:
 
     Attributes:
-        rule_id: Stable short identifier (``R1`` .. ``R5``); suppression
+        rule_id: Stable short identifier (``R1`` .. ``R13``); suppression
             comments and ``--select``/``--ignore`` use it.
         title: One-line summary of what the rule enforces.
         rationale: Why the invariant matters for the GEACC reproduction.
+        suppressible: False for rules whose findings ignore
+            ``# geacc-lint: disable`` comments (the suppression-hygiene
+            rule itself -- else one bare directive could silence the
+            audit of bare directives).
     """
 
     rule_id: ClassVar[str] = ""
     title: ClassVar[str] = ""
     rationale: ClassVar[str] = ""
+    suppressible: ClassVar[bool] = True
 
     def check_module(self, module: "ParsedModule") -> Iterator[Diagnostic]:
         """Yield findings local to one file (default: none)."""

@@ -5,13 +5,18 @@ Importing this package registers every rule class in
 rules by dropping a module here and importing it below).
 """
 
+from repro.analysis.rules.checkpoint import CheckpointInLoopRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.floats import FloatComparisonRule
+from repro.analysis.rules.fsync import FsyncBeforeAckRule
 from repro.analysis.rules.hygiene import ApiHygieneRule
+from repro.analysis.rules.journal import JournalBeforeMutateRule
+from repro.analysis.rules.leaks import LeaseLeakRule
 from repro.analysis.rules.netio import NetworkIoRule
 from repro.analysis.rules.ordering import OrderingSafetyRule
 from repro.analysis.rules.parallelism import ParallelismRule
 from repro.analysis.rules.solver_registry import SolverRegistryRule
+from repro.analysis.rules.suppression import SuppressionHygieneRule
 from repro.analysis.rules.timeapi import TimeApiRule
 
 __all__ = [
@@ -23,4 +28,9 @@ __all__ = [
     "TimeApiRule",
     "ParallelismRule",
     "NetworkIoRule",
+    "JournalBeforeMutateRule",
+    "LeaseLeakRule",
+    "CheckpointInLoopRule",
+    "FsyncBeforeAckRule",
+    "SuppressionHygieneRule",
 ]

@@ -1,0 +1,85 @@
+"""R12 -- fsync-before-ack: nothing is acknowledged before it is durable.
+
+The journal's durability contract (``docs/service.md``) is that a
+client acknowledgement *means* the command is on disk: written,
+flushed, **fsync'd**.  ``write()`` alone hands bytes to the kernel page
+cache and ``flush()`` only empties the userspace buffer -- after either
+one, a power cut still loses the record while the client holds a
+success response.  Replay then reconstructs a store missing a command
+the client believes accepted: the exact divergence the write-ahead
+design exists to rule out.
+
+The rule is a may-analysis over each function's CFG in
+``repro.service``: a ``*handle*.write(...)`` raises an "unflushed"
+hazard flag, ``os.fsync(...)`` clears it, and on **no** path may a
+success response (``_reply``/``send_response``) -- or a plain
+``return``, which is the in-process acknowledgement -- execute while
+the flag is (even possibly) set.  Exceptional exits are exempt: an
+exception *is* the failure signal, no client mistakes it for an ack.
+
+``flush()`` deliberately does not clear the flag.  HTTP response
+machinery (``wfile.write``) does not set it: the hazard is journal
+bytes, not response bytes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.cfg import function_cfgs
+from repro.analysis.dataflow import MAY
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ParsedModule
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.typestate import CallPattern, FlagProtocol, check_flag_protocol
+
+#: Package directory carrying the durability contract.
+_SCOPE_DIR = "service"
+
+_PROTOCOL = FlagProtocol(
+    flag="unflushed journal write",
+    mode=MAY,
+    sets=(CallPattern("write", frozenset({"handle"})),),
+    clears=(CallPattern("fsync"),),
+    requires=(CallPattern("_reply"), CallPattern("send_response")),
+    check_returns=True,
+)
+
+
+@register_rule
+class FsyncBeforeAckRule(Rule):
+    """Flag acknowledgements reachable with an unfsync'd journal write."""
+
+    rule_id = "R12"
+    title = "fsync the journal before acknowledging success"
+    rationale = (
+        "an acknowledgement promises durability; write()/flush() leave the "
+        "record in volatile buffers, so a crash after the ack loses a "
+        "command the client was told succeeded -- os.fsync before any "
+        "success path"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        if _SCOPE_DIR not in module.relparts[:-1]:
+            return
+        for cfg in function_cfgs(module.tree):
+            for violation in check_flag_protocol(cfg, _PROTOCOL):
+                if violation.kind == "return":
+                    message = (
+                        "function can return while a journal write is "
+                        "unflushed (write -> flush -> os.fsync before "
+                        "returning; returning is the ack)"
+                    )
+                else:
+                    message = (
+                        f"{violation.detail}(): success response reachable "
+                        "while a journal write is unflushed (os.fsync the "
+                        "journal handle before acknowledging)"
+                    )
+                yield Diagnostic(
+                    path=module.display_path,
+                    line=violation.line,
+                    col=violation.col,
+                    rule_id=self.rule_id,
+                    message=message,
+                )

@@ -1,0 +1,79 @@
+"""R9 -- journal-before-mutate: the service's write-ahead discipline.
+
+The service's crash story (``docs/service.md``) rests on exactly one
+ordering: a command is appended to the fsync'd journal *first*, and the
+:class:`~repro.service.store.ArrangementStore` mutates *second*.  Flip
+the order anywhere -- even on one early-return or exception path -- and
+a crash in the window leaves a store state the journal cannot replay:
+recovery silently diverges from what clients were told, which for a
+reproduction service means the arrangement numbers after a restart are
+no longer the numbers the paper's pipeline produced.
+
+This is a *path* property, so the rule runs the CFG/dataflow framework
+(:mod:`repro.analysis.typestate`) rather than a node visitor: within
+each function in ``repro.service``, every ``*store*.apply(...)`` call
+must be dominated -- on **every** incoming path (must-analysis) -- by a
+``*journal*.append(...)``.  The append is *consumed* by the apply it
+blesses: two mutations need two appends, so a loop that applies per
+iteration must also journal per iteration.
+
+The blessed spine is ``ArrangementService._journal_and_apply``; new
+command handlers should route through it instead of journaling by
+hand.  Replay (:func:`repro.service.journal.replay`) legitimately
+applies without appending -- records are already durable -- and carries
+the one reviewed suppression.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.cfg import function_cfgs
+from repro.analysis.dataflow import MUST
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ParsedModule
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.typestate import CallPattern, FlagProtocol, check_flag_protocol
+
+#: Package directory whose modules carry the write-ahead contract.
+_SCOPE_DIR = "service"
+
+_PROTOCOL = FlagProtocol(
+    flag="journaled",
+    mode=MUST,
+    sets=(CallPattern("append", frozenset({"journal"})),),
+    requires=(CallPattern("apply", frozenset({"store"})),),
+    consume=True,
+)
+
+
+@register_rule
+class JournalBeforeMutateRule(Rule):
+    """Flag store mutations not write-ahead journaled on every path."""
+
+    rule_id = "R9"
+    title = "journal before mutate: store.apply must follow Journal.append"
+    rationale = (
+        "the service acknowledges only what the fsync'd journal holds; a "
+        "store mutation any path reaches without a preceding append makes "
+        "crash recovery diverge from acknowledged state -- route mutations "
+        "through ArrangementService._journal_and_apply"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        if _SCOPE_DIR not in module.relparts[:-1]:
+            return
+        for cfg in function_cfgs(module.tree):
+            for violation in check_flag_protocol(cfg, _PROTOCOL):
+                yield Diagnostic(
+                    path=module.display_path,
+                    line=violation.line,
+                    col=violation.col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{violation.detail}(): store mutation is not "
+                        "dominated by a Journal.append on every path "
+                        "(write-ahead: append, fsync, then apply -- one "
+                        "append per mutation; use _journal_and_apply)"
+                    ),
+                )

@@ -1,0 +1,88 @@
+"""R10 -- lease/handle leak: shm obligations must die on every path.
+
+The parallel sweep's shared-memory lifecycle (``docs/performance.md``)
+is a three-party contract: the parent creates and ``unlink``\\ s each
+segment, workers ``close()`` their per-cell mappings, and nobody else
+touches the lifecycle.  POSIX shm segments survive process exit -- a
+mapping that misses its ``close()`` pins pages until the process dies,
+and a created segment that misses ``unlink()`` leaks ``/dev/shm``
+space until reboot.  The leak never shows up on the happy path; it
+shows up when the statement *between* acquire and release raises, which
+is exactly what a per-node AST rule cannot see.
+
+So this rule runs the resource typestate
+(:mod:`repro.analysis.typestate`) over each function's CFG in
+``repro.parallel``: every acquisition -- ``handle.attach()``,
+``shared_memory.SharedMemory(...)``, ``SharedInstanceArchive.
+from_instance(...)`` -- opens an obligation that must, on **every**
+path to the function exit (exceptional edges included), either reach a
+release method (``close``/``unlink``/``release``/``destroy``/
+``terminate``) on some alias, or *escape*: be returned, passed to a
+call, or stored into an object/container, after which the receiver
+owns the lifecycle.  ``with ... as x:`` acquisitions are exempt --
+``__exit__`` is the release.
+
+The analysis understands the ``if lease is not None: lease.close()``
+guard (branch refinement drops the handle on the ``None`` arm) and
+try/finally release paths, so the executor's idioms lint clean as
+written.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.analysis.cfg import function_cfgs
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ParsedModule
+from repro.analysis.registry import Rule, register_rule
+from repro.analysis.typestate import (
+    CallPattern,
+    ResourceProtocol,
+    check_resource_protocol,
+)
+
+#: Package directory owning the shm lifecycle.
+_SCOPE_DIR = "parallel"
+
+_PROTOCOL = ResourceProtocol(
+    acquires=(
+        CallPattern("attach", frozenset({"handle"})),
+        CallPattern("SharedMemory", frozenset({"shared_memory"})),
+        CallPattern("from_instance", frozenset({"archive"})),
+    ),
+    release_methods=frozenset({"close", "unlink", "release", "destroy", "terminate"}),
+    description="shared-memory lease/handle",
+)
+
+
+@register_rule
+class LeaseLeakRule(Rule):
+    """Flag shm leases/handles that can exit a function unreleased."""
+
+    rule_id = "R10"
+    title = "no leaked shm leases: close/release on every path"
+    rationale = (
+        "POSIX shm outlives the statement that mapped it; a path (normal "
+        "or exceptional) from acquire to function exit without close()/"
+        "release()/hand-off pins segments for the worker's lifetime and "
+        "leaks /dev/shm space across the sweep"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        if _SCOPE_DIR not in module.relparts[:-1]:
+            return
+        for cfg in function_cfgs(module.tree):
+            for violation in check_resource_protocol(cfg, _PROTOCOL):
+                yield Diagnostic(
+                    path=module.display_path,
+                    line=violation.line,
+                    col=violation.col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{violation.detail} acquired here can reach the "
+                        "function exit unreleased on at least one path "
+                        "(exceptional paths count); close()/release() it in "
+                        "a finally, or hand it off to an owner"
+                    ),
+                )

@@ -2,30 +2,67 @@
 
 Two forms are recognised:
 
-* ``# geacc-lint: disable=R2`` on the *same line* as a finding silences
-  the listed rules for that line only.  ``disable=R1,R2`` silences
-  several; a bare ``disable`` (no ``=``) silences every rule on the
-  line.
-* ``# geacc-lint: disable-file=R4`` anywhere in a file silences the
-  listed rules (or, with no ``=``, all rules) for the whole file.
+* ``# geacc-lint: disable=R2 reason=...`` on a line of a finding
+  silences the listed rules for that *statement* (see binding below).
+  ``disable=R1,R2`` silences several; a bare ``disable`` (no ``=``)
+  silences every rule.
+* ``# geacc-lint: disable-file=R4 reason=...`` anywhere in a file
+  silences the listed rules (or, with no ``=``, all rules) for the
+  whole file.
 
-Suppressions are an explicit audit trail: the comment marks a reviewed
-exception (e.g. an intentional exact float comparison of values copied
-bit-for-bit), not an escape hatch, so prefer fixing the finding.
+Every suppression must carry a ``reason=`` clause -- the rest of the
+comment after ``reason=`` is free text explaining why the reviewed
+exception is safe.  A bare directive still *works* (the listed rules
+are silenced) but is itself reported by R13, which cannot be
+suppressed: the audit trail is the point.
+
+Binding: a ``disable`` directive binds to the whole source span of the
+innermost simple statement containing its line, and a directive on a
+``def``/``class`` line (or one of its decorator lines) covers the
+definition line and its decorators.  So the comment can sit on the
+closing parenthesis of a multi-line call and still silence a finding
+reported at the statement's first line, and a finding on a decorator
+is silenced by a directive beside the decorator or the ``def`` itself.
+Without a parse tree (e.g. the file has a syntax error) directives
+bind to their own physical line only.
 """
 
 from __future__ import annotations
 
+import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 
 _DIRECTIVE = re.compile(
-    r"#\s*geacc-lint:\s*(?P<scope>disable(?:-file)?)\s*"
-    r"(?:=\s*(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*))?"
+    r"#\s*geacc-lint:\s*(?P<scope>disable(?:-file)?)"
+    r"(?:\s*=\s*(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*))?"
+    r"(?:\s+reason\s*=\s*(?P<reason>\S.*\S|\S))?"
 )
 
 #: Sentinel meaning "every rule" in a suppression set.
 ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed ``# geacc-lint:`` comment.
+
+    Attributes:
+        line: 1-based physical line the comment sits on.
+        col: 0-based column where the directive text starts.
+        scope: ``"disable"`` or ``"disable-file"``.
+        rules: The rule IDs listed (``{"*"}`` for a bare directive).
+        reason: Text after ``reason=``, or None when absent (an R13
+            finding).
+    """
+
+    line: int
+    col: int
+    scope: str
+    rules: frozenset[str]
+    reason: str | None
 
 
 @dataclass
@@ -34,12 +71,15 @@ class SuppressionIndex:
 
     Attributes:
         by_line: Maps a 1-based line number to the set of rule IDs
-            suppressed on that line (``{"*"}`` means all).
+            suppressed on that line (``{"*"}`` means all).  Already
+            expanded over statement spans when a tree was available.
         whole_file: Rule IDs suppressed for the entire file.
+        directives: Every directive found, for hygiene auditing (R13).
     """
 
     by_line: dict[int, set[str]] = field(default_factory=dict)
     whole_file: set[str] = field(default_factory=set)
+    directives: list[Directive] = field(default_factory=list)
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
         """True if ``rule_id`` is silenced at ``line``."""
@@ -51,25 +91,110 @@ class SuppressionIndex:
         return ALL_RULES in rules or rule_id in rules
 
 
-def parse_suppressions(source_lines: list[str]) -> SuppressionIndex:
-    """Scan source lines for ``geacc-lint`` directives.
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line spans a line-scoped directive binds across.
 
-    The scan is textual (regex over raw lines) rather than token-based:
-    directives inside string literals would be misread, but a literal
-    containing ``# geacc-lint:`` only occurs in this package's own
-    tests, which lint synthetic snippets, never real modules.
+    Simple statements contribute their full ``lineno..end_lineno`` span
+    (a multi-line call is one statement; the comment usually fits only
+    on its last line while findings point at the first).  Definitions
+    contribute their decorator lines plus the ``def``/``class`` line --
+    never the body, which would turn one comment into a function-wide
+    suppression.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            first = min(
+                [node.lineno] + [d.lineno for d in node.decorator_list]
+            )
+            spans.append((first, node.lineno))
+            continue
+        if not isinstance(node, ast.stmt):
+            continue
+        if isinstance(
+            node,
+            (
+                ast.If,
+                ast.While,
+                ast.For,
+                ast.AsyncFor,
+                ast.With,
+                ast.AsyncWith,
+                ast.Try,
+                ast.Match,
+            ),
+        ):
+            continue  # compound: binding across the body is too blunt
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if end > node.lineno:
+            spans.append((node.lineno, end))
+    return spans
+
+
+def _comment_tokens(source_lines: list[str]) -> list[tuple[int, int, str]]:
+    """``(line, col, text)`` of every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps directive
+    *mentions* inside docstrings and string literals -- this package
+    documents its own comment syntax in several places -- from being
+    read as live directives.  Files the tokenizer chokes on (it can
+    object to some encodings/continuations even when ``ast.parse``
+    succeeded) fall back to the textual scan.
+    """
+    source = "\n".join(source_lines) + "\n"
+    try:
+        return [
+            (token.start[0], token.start[1], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        return [
+            (lineno, 0, text)
+            for lineno, text in enumerate(source_lines, start=1)
+            if "#" in text
+        ]
+
+
+def parse_suppressions(
+    source_lines: list[str], tree: ast.Module | None = None
+) -> SuppressionIndex:
+    """Scan a file's comments for ``geacc-lint`` directives.
+
+    When ``tree`` is given, line-scoped directives are expanded over
+    the span of the statement they sit in (see module docstring).
     """
     index = SuppressionIndex()
-    for lineno, text in enumerate(source_lines, start=1):
+    for lineno, start_col, text in _comment_tokens(source_lines):
         match = _DIRECTIVE.search(text)
         if match is None:
             continue
         listed = match.group("rules")
         rules = (
-            {part.strip() for part in listed.split(",")} if listed else {ALL_RULES}
+            frozenset(part.strip() for part in listed.split(","))
+            if listed
+            else frozenset({ALL_RULES})
         )
-        if match.group("scope") == "disable-file":
+        scope = match.group("scope")
+        index.directives.append(
+            Directive(
+                line=lineno,
+                col=start_col + match.start(),
+                scope=scope,
+                rules=rules,
+                reason=match.group("reason"),
+            )
+        )
+        if scope == "disable-file":
             index.whole_file.update(rules)
         else:
             index.by_line.setdefault(lineno, set()).update(rules)
+    if tree is not None and index.by_line:
+        for start, end in _statement_spans(tree):
+            bound: set[str] = set()
+            for line in range(start, end + 1):
+                bound |= index.by_line.get(line, set())
+            if bound:
+                for line in range(start, end + 1):
+                    index.by_line.setdefault(line, set()).update(bound)
     return index

@@ -420,6 +420,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv.append("--list-rules")
     if args.statistics:
         argv.append("--statistics")
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    for pattern in args.exclude or ():
+        argv += ["--exclude", pattern]
     return lint_main(argv)
 
 
@@ -724,6 +730,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--ignore", default=None, metavar="IDS")
     lint.add_argument("--list-rules", action="store_true")
     lint.add_argument("--statistics", action="store_true")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N")
+    lint.add_argument("--exclude", action="append", default=None, metavar="GLOB")
     lint.set_defaults(func=_cmd_lint)
 
     info = subparsers.add_parser("info", help="list solvers/figures/scales")

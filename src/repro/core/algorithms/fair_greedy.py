@@ -85,7 +85,7 @@ class FairGreedyGEACC(Solver):
             # Exact inequality is intended: seen_satisfaction is a
             # bit-for-bit copy of satisfaction[u] at push time, so any
             # difference -- however small -- means the entry is stale.
-            if satisfaction[u] != seen_satisfaction:  # geacc-lint: disable=R2
+            if satisfaction[u] != seen_satisfaction:  # geacc-lint: disable=R2 reason=staleness probe against a bit-for-bit copy; any difference means stale
                 # Stale priority: recompute and re-queue.
                 priority = float(sims[v, u]) / (1.0 + fairness * satisfaction[u])
                 heapq.heappush(heap, (-priority, v, u, float(satisfaction[u])))

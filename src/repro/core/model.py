@@ -150,7 +150,7 @@ class Instance:
             # Exact comparison on purpose: 3.0 is an integer count spelled
             # as a float and is accepted; 2.5 is a modelling error and must
             # not be silently truncated to 2.
-            if np.any(raw != np.floor(raw)):  # geacc-lint: disable=R2
+            if np.any(raw != np.floor(raw)):  # geacc-lint: disable=R2 reason=integrality check; floor is exact for every float, tolerance would accept 2.5
                 raise InvalidInstanceError(
                     f"{kind} capacities must be integral, got {raw!r}"
                 )

@@ -7,7 +7,7 @@ else, so budgets (:mod:`repro.robustness.budget`) and the crash-safe
 sweep checkpoint (:mod:`repro.experiments.runner`) cannot be bypassed
 by ad-hoc pools.
 
-Two public pieces:
+Three public pieces:
 
 * :mod:`repro.parallel.sharedmem` -- zero-copy sharing of an
   :class:`~repro.core.model.Instance`'s numeric payload (similarity
@@ -18,6 +18,10 @@ Two public pieces:
   *parent* the sole writer of the fsynced JSONL checkpoint, and cancels
   outstanding cells when a global :class:`~repro.robustness.budget.
   Budget` deadline is exhausted.
+* :mod:`repro.parallel.maplib` -- an order-preserving ``parallel_map``
+  for coarse-grained picklable tasks that need the same fork-preferred,
+  parent-aggregates conventions without the sweep machinery (used by
+  ``geacc-lint --jobs``).
 """
 
 from repro.parallel.executor import (
@@ -25,6 +29,7 @@ from repro.parallel.executor import (
     default_jobs,
     run_cell_groups,
 )
+from repro.parallel.maplib import parallel_map
 from repro.parallel.sharedmem import (
     SharedInstanceArchive,
     SharedInstanceHandle,
@@ -37,5 +42,6 @@ __all__ = [
     "SharedInstanceHandle",
     "SharedInstanceLease",
     "default_jobs",
+    "parallel_map",
     "run_cell_groups",
 ]

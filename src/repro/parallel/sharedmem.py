@@ -229,24 +229,27 @@ class SharedInstanceArchive:
         except (ImportError, OSError, ValueError):
             return None  # no POSIX shm here; callers materialise per worker
 
+        # Everything between acquisition and the hand-off to the archive
+        # lives under the cleanup guard: a raise anywhere in the window
+        # (view fill, handle construction) must retire the segment, or
+        # it stays pinned in /dev/shm until reboot (R10).
         try:
             for name, spec in specs:
                 _view(segment, spec, writeable=True)[...] = arrays[name]
+            handle = SharedInstanceHandle(
+                segment_name=segment.name,
+                n_events=instance.n_events,
+                n_users=instance.n_users,
+                t=instance.t,
+                metric=instance.metric,
+                specs=tuple(specs),
+                creator_pid=os.getpid(),
+            )
+            return cls(handle, segment)
         except BaseException:
             segment.close()
             segment.unlink()
             raise
-
-        handle = SharedInstanceHandle(
-            segment_name=segment.name,
-            n_events=instance.n_events,
-            n_users=instance.n_users,
-            t=instance.t,
-            metric=instance.metric,
-            specs=tuple(specs),
-            creator_pid=os.getpid(),
-        )
-        return cls(handle, segment)
 
     def destroy(self) -> None:
         """Close the parent mapping and unlink the segment (idempotent)."""

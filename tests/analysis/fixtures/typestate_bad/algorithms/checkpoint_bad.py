@@ -1,0 +1,16 @@
+"""R11 bad fixture (lives under algorithms/): uncheckpointed solver loops."""
+
+
+def drain_heap(heap, budget):
+    total = 0.0
+    while heap:  # line 6: R11 (budget-aware, loop never checkpoints)
+        total += heap.pop()
+    return total
+
+
+class Solver:
+    def solve(self, instance):
+        best = None
+        while self._budget.remaining() > 0:  # line 14: R11 (self._budget user)
+            best = self._improve(instance, best)
+        return best

@@ -1,0 +1,30 @@
+"""R10 bad fixture (lives under parallel/): leases that can die unreleased."""
+
+from multiprocessing import shared_memory
+
+
+def never_closed(handle):
+    lease = handle.attach()  # line 7: R10 (no release on any path)
+    return lease.payload.sum()
+
+
+def leaks_when_work_raises(handle, solver):
+    lease = handle.attach()  # line 12: R10 (solver() raising skips close)
+    result = solver(lease.payload)
+    lease.close()
+    return result
+
+
+def rebind_drops_first_segment(name_a, name_b):
+    segment = shared_memory.SharedMemory(name=name_a)  # line 19: R10 (rebound)
+    segment = shared_memory.SharedMemory(name=name_b)
+    try:
+        return bytes(segment.buf)
+    finally:
+        segment.close()
+
+
+def closed_on_then_branch_only(handle, keep):
+    lease = handle.attach()  # line 28: R10 (keep path exits unreleased)
+    if not keep:
+        lease.close()

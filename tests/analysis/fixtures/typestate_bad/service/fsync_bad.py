@@ -1,0 +1,20 @@
+"""R12 bad fixture (lives under service/): acks racing an unflushed write."""
+
+import os
+
+
+class Journal:
+    def ack_without_fsync(self, handler, record):
+        self._handle.write(record)
+        self._handle.flush()  # flush is not durability
+        handler.send_response(200)  # line 10: R12 (ack with unflushed write)
+
+    def return_without_fsync(self, record):
+        self._handle.write(record)
+        return True  # line 14: R12 (returning is the in-process ack)
+
+    def fsync_on_one_branch_only(self, handler, record, lazy):
+        self._handle.write(record)
+        if not lazy:
+            os.fsync(self._handle.fileno())
+        handler._reply(200)  # line 20: R12 (lazy path may ack unflushed)

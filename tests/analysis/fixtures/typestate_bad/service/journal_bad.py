@@ -1,0 +1,25 @@
+"""R9 bad fixture (lives under service/): store mutations the journal misses."""
+
+
+class Service:
+    def mutate_without_append(self, cmd):
+        self._store.apply(cmd)  # line 6: R9 (no append anywhere)
+
+    def append_on_one_branch_only(self, cmd, fast):
+        if not fast:
+            self._journal.append(cmd)
+        self._store.apply(cmd)  # line 11: R9 (fast path skips the append)
+
+    def one_append_two_applies(self, first, second):
+        self._journal.append(first)
+        self._store.apply(first)
+        self._store.apply(second)  # line 16: R9 (the append was consumed)
+
+    def append_inside_loop_apply_after(self, cmds):
+        for cmd in cmds:
+            self._journal.append(cmd)
+        self._store.apply(cmds)  # line 21: R9 (zero-iteration path never appends)
+
+    def append_after_apply(self, cmd):
+        self._store.apply(cmd)  # line 24: R9 (order flipped)
+        self._journal.append(cmd)

@@ -1,0 +1,60 @@
+"""R11 near-misses (algorithms/): checkpointed or budget-free loops."""
+
+
+def drain_heap(heap, budget):
+    total = 0.0
+    while heap:
+        budget.checkpoint()
+        total += heap.pop()
+    return total
+
+
+def checkpoint_in_guarded_form(heap, budget):
+    # The repo idiom: checkpoint each pop, return best-so-far when the
+    # budget runs out. The try does not hide the call from the rule.
+    best = 0.0
+    while heap:
+        try:
+            budget.checkpoint()
+        except RuntimeError:
+            return best
+        best = max(best, heap.pop())
+    return best
+
+
+def helper_without_budget(heap):
+    # Near-miss: not budget-aware -- bounded loops here are the
+    # caller's responsibility.
+    total = 0.0
+    while heap:
+        total += heap.pop()
+    return total
+
+
+def for_loops_are_bounded(items, budget):
+    budget.checkpoint()
+    total = 0.0
+    for item in items:
+        total += item
+    return total
+
+
+class Solver:
+    def solve(self, instance):
+        best = None
+        while self._budget.remaining() > 0:
+            self._budget.checkpoint()
+            best = self._improve(instance, best)
+        return best
+
+    def _local_scan(self, instance):
+        # Near-miss: a nested helper's while loop is not this
+        # function's loop, and the helper itself never sees a budget.
+        def scan(row):
+            index = 0
+            while index < len(row):
+                index += 1
+            return index
+
+        self._budget.checkpoint()
+        return scan(instance)

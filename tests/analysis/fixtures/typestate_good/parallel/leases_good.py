@@ -1,0 +1,56 @@
+"""R10 near-misses (parallel/): every lease dies or is handed off."""
+
+from multiprocessing import shared_memory
+
+
+def released_in_finally(handle, solver):
+    # Near-miss: solver() may raise mid-use, but the finally releases
+    # the lease on the exceptional path too.
+    lease = handle.attach()
+    try:
+        return solver(lease.payload)
+    finally:
+        lease.close()
+
+
+def guarded_release(handle):
+    # Near-miss: the None arm provably holds no lease (refinement drops
+    # the site), and the live arm releases before any call can raise.
+    lease = handle.attach()
+    if lease is None:
+        return None
+    payload = lease.payload
+    lease.close()
+    return payload
+
+
+def escape_by_return(name):
+    # The caller owns the segment once we return it.
+    segment = shared_memory.SharedMemory(name=name)
+    return segment
+
+
+def escape_by_handoff(handle, registry):
+    lease = handle.attach()
+    registry.adopt(lease)
+    return True
+
+
+def with_statement_owns_exit(handle):
+    with handle.attach() as lease:
+        return lease.payload.sum()
+
+
+def alias_release_counts(handle):
+    lease = handle.attach()
+    alias = lease
+    alias.close()
+    return None
+
+
+def release_then_rebind(name_a, name_b):
+    segment = shared_memory.SharedMemory(name=name_a)
+    segment.close()
+    segment = shared_memory.SharedMemory(name=name_b)
+    segment.close()
+    return None

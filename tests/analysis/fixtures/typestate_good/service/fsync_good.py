@@ -1,0 +1,30 @@
+"""R12 near-misses (service/): every ack happens on a durable state."""
+
+import os
+
+
+class Journal:
+    def write_fsync_ack(self, handler, record):
+        self._handle.write(record)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        handler.send_response(200)
+
+    def write_fsync_return(self, record):
+        self._handle.write(record)
+        os.fsync(self._handle.fileno())
+        return True
+
+    def error_path_is_not_an_ack(self, record):
+        # Near-miss: raising with an unflushed write is fine -- an
+        # exception is the failure signal, nobody takes it for an ack.
+        self._handle.write(record)
+        if len(record) > 65536:
+            raise ValueError("record too large")
+        os.fsync(self._handle.fileno())
+
+    def response_bytes_are_not_journal_bytes(self, wfile, blob):
+        # Near-miss: wfile is the HTTP response stream, not the journal
+        # handle; writing it sets no hazard.
+        wfile.write(blob)
+        return True

@@ -1,0 +1,31 @@
+"""R9 near-misses (service/): every apply is dominated by its own append."""
+
+
+class Service:
+    def journal_then_apply(self, cmd):
+        self._journal.append(cmd)
+        self._store.apply(cmd)
+
+    def early_return_before_append(self, cmd):
+        # Near-miss: a path leaves the function before any mutation, so
+        # the apply below is still dominated on every path reaching it.
+        if cmd is None:
+            return None
+        self._journal.append(cmd)
+        return self._store.apply(cmd)
+
+    def append_on_both_branches(self, cmd, batch):
+        if batch:
+            self._journal.append(batch)
+        else:
+            self._journal.append(cmd)
+        self._store.apply(cmd)
+
+    def one_append_per_iteration(self, cmds):
+        for cmd in cmds:
+            self._journal.append(cmd)
+            self._store.apply(cmd)
+
+    def no_mutation_at_all(self, cmd):
+        self._journal.append(cmd)
+        return self._store.snapshot()

@@ -17,7 +17,7 @@ def test_line_suppression_silences_one_rule(tmp_path: Path) -> None:
     target = tmp_path / "mod.py"
     target.write_text(
         "import numpy as np\n"
-        "rng = np.random.default_rng()  # geacc-lint: disable=R1\n"
+        "rng = np.random.default_rng()  # geacc-lint: disable=R1 reason=test\n"
     )
     assert run_lint([target]) == []
 
@@ -26,7 +26,7 @@ def test_line_suppression_is_rule_specific(tmp_path: Path) -> None:
     target = tmp_path / "mod.py"
     target.write_text(
         "import numpy as np\n"
-        "rng = np.random.default_rng()  # geacc-lint: disable=R4\n"
+        "rng = np.random.default_rng()  # geacc-lint: disable=R4 reason=test\n"
     )
     assert hits(run_lint([target])) == [("R1", 2)]
 
@@ -35,19 +35,19 @@ def test_bare_disable_silences_all_rules_on_the_line(tmp_path: Path) -> None:
     target = tmp_path / "mod.py"
     target.write_text(
         "import numpy as np\n"
-        "rng = np.random.default_rng()  # geacc-lint: disable\n"
+        "rng = np.random.default_rng()  # geacc-lint: disable reason=test\n"
     )
     assert run_lint([target]) == []
 
 
 def test_file_level_suppression(tmp_path: Path) -> None:
     target = tmp_path / "mod.py"
-    target.write_text("# geacc-lint: disable-file=R1\n" + BAD_RNG)
+    target.write_text("# geacc-lint: disable-file=R1 reason=test\n" + BAD_RNG)
     assert run_lint([target]) == []
 
 
 def test_suppression_parser_handles_lists() -> None:
-    index = parse_suppressions(["x = 1  # geacc-lint: disable=R1, R2"])
+    index = parse_suppressions(["x = 1  # geacc-lint: disable=R1, R2 reason=test"])
     assert index.is_suppressed(1, "R1")
     assert index.is_suppressed(1, "R2")
     assert not index.is_suppressed(1, "R3")
@@ -65,7 +65,10 @@ def test_syntax_errors_become_e0_diagnostics(tmp_path: Path) -> None:
 
 def test_rule_table_is_complete() -> None:
     load_rules()
-    assert set(RULES) == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}
+    assert set(RULES) == {
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+        "R9", "R10", "R11", "R12", "R13",
+    }
     for rule_id, cls in RULES.items():
         assert cls.rule_id == rule_id
         assert cls.title
@@ -75,13 +78,14 @@ def test_rule_table_is_complete() -> None:
 def test_select_and_ignore_filter_rules() -> None:
     assert [r.rule_id for r in load_rules(select=["R1", "R3"])] == ["R1", "R3"]
     assert [r.rule_id for r in load_rules(ignore=["R2"])] == [
-        "R1", "R3", "R4", "R5", "R6", "R7", "R8",
+        "R1", "R10", "R11", "R12", "R13",
+        "R3", "R4", "R5", "R6", "R7", "R8", "R9",
     ]
 
 
 def test_unknown_rule_ids_raise() -> None:
     with pytest.raises(ValueError, match="unknown rule"):
-        load_rules(select=["R9"])
+        load_rules(select=["R99"])
 
 
 def test_duplicate_rule_registration_raises() -> None:

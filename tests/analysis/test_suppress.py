@@ -1,0 +1,163 @@
+"""Suppression binding, reason= hygiene (R13), and directive parsing."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis import run_lint
+from repro.analysis.suppress import parse_suppressions
+from tests.analysis.conftest import hits
+
+BAD_RNG = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+# ----------------------------------------------------------------------
+# Directive parsing: reason clauses
+# ----------------------------------------------------------------------
+
+
+def test_reason_free_text_is_captured() -> None:
+    index = parse_suppressions(
+        ["x = 1  # geacc-lint: disable=R1 reason=replay of durable records"]
+    )
+    [directive] = index.directives
+    assert directive.rules == frozenset({"R1"})
+    assert directive.reason == "replay of durable records"
+
+
+def test_bare_directive_has_no_reason_but_still_suppresses() -> None:
+    index = parse_suppressions(["x = 1  # geacc-lint: disable=R1"])
+    [directive] = index.directives
+    assert directive.reason is None
+    assert index.is_suppressed(1, "R1")
+
+
+def test_reason_on_bare_disable() -> None:
+    index = parse_suppressions(["x = 1  # geacc-lint: disable reason=test"])
+    [directive] = index.directives
+    assert directive.rules == frozenset({"*"})
+    assert directive.reason == "test"
+
+
+def test_directive_mention_in_a_docstring_is_not_a_directive() -> None:
+    source = [
+        '"""Docs quoting `# geacc-lint: disable=R1` are not directives."""',
+        "x = 1",
+    ]
+    index = parse_suppressions(source)
+    assert index.directives == []
+    assert not index.is_suppressed(1, "R1")
+
+
+# ----------------------------------------------------------------------
+# Statement binding
+# ----------------------------------------------------------------------
+
+
+def test_directive_on_last_line_of_multiline_statement_binds(
+    tmp_path: Path,
+) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import numpy as np\n"
+        "rng = np.random.default_rng(\n"
+        ")  # geacc-lint: disable=R1 reason=test\n"
+    )
+    assert run_lint([target]) == []
+
+
+def test_directive_on_decorator_line_covers_the_def(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import functools\n"
+        "\n"
+        "\n"
+        "@functools.lru_cache  # geacc-lint: disable=R5 reason=test\n"
+        "def helper(x):\n"
+        "    return x\n"
+    )
+    assert run_lint([target], select=["R5"]) == []
+
+
+def test_directive_on_def_line_covers_its_decorators(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import functools\n"
+        "\n"
+        "\n"
+        "@functools.lru_cache\n"
+        "def helper(x):  # geacc-lint: disable=R5 reason=test\n"
+        "    return x\n"
+    )
+    assert run_lint([target], select=["R5"]) == []
+
+
+def test_def_line_directive_does_not_cover_the_body(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def helper():  # geacc-lint: disable reason=test\n"
+        "    return np.random.default_rng()\n"
+    )
+    assert hits(run_lint([target], select=["R1"])) == [("R1", 5)]
+
+
+def test_binding_without_a_tree_is_line_local() -> None:
+    # A directive inside a file the parser rejects binds to its own line.
+    source = ["x = (  # geacc-lint: disable=R1 reason=test", "1)"]
+    index = parse_suppressions(source, tree=None)
+    assert index.is_suppressed(1, "R1")
+    assert not index.is_suppressed(2, "R1")
+
+
+def test_binding_with_a_tree_expands_over_the_span() -> None:
+    source = ["x = (  # geacc-lint: disable=R1 reason=test", "1)"]
+    tree = ast.parse("\n".join(source))
+    index = parse_suppressions(source, tree=tree)
+    assert index.is_suppressed(1, "R1")
+    assert index.is_suppressed(2, "R1")
+
+
+# ----------------------------------------------------------------------
+# R13 hygiene and unsuppressibility
+# ----------------------------------------------------------------------
+
+
+def test_bare_directive_becomes_an_r13_finding(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # geacc-lint: disable=R1\n"
+    )
+    findings = run_lint([target])
+    assert hits(findings) == [("R13", 2)]  # R1 silenced, hygiene flagged
+    assert "reason=" in findings[0].message
+
+
+def test_reasoned_directive_satisfies_r13(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # geacc-lint: disable=R1 reason=demo\n"
+    )
+    assert run_lint([target]) == []
+
+
+def test_r13_cannot_be_suppressed(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "# geacc-lint: disable-file=R13 reason=trying to silence the auditor\n"
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # geacc-lint: disable\n"
+    )
+    findings = run_lint([target])
+    assert hits(findings) == [("R13", 3)]
+
+
+def test_bare_file_level_directive_is_flagged_once(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text("# geacc-lint: disable-file=R1\n" + BAD_RNG)
+    assert hits(run_lint([target])) == [("R13", 1)]

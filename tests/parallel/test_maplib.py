@@ -1,0 +1,60 @@
+"""repro.parallel.maplib: ordering, fallbacks, and argument checking."""
+
+from __future__ import annotations
+
+import functools
+import os
+
+import pytest
+
+from repro.parallel import parallel_map
+
+
+def square(value: int) -> int:
+    return value * value
+
+
+def offset_square(value: int, offset: int = 0) -> int:
+    return value * value + offset
+
+
+def identify(value: int) -> tuple[int, int]:
+    return value, os.getpid()
+
+
+def test_serial_path_preserves_order() -> None:
+    assert parallel_map(square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+
+def test_parallel_results_match_serial_in_order() -> None:
+    items = list(range(37))
+    assert parallel_map(square, items, jobs=4) == [square(i) for i in items]
+
+
+def test_partial_callables_cross_the_process_boundary() -> None:
+    worker = functools.partial(offset_square, offset=100)
+    assert parallel_map(worker, [1, 2, 3], jobs=2) == [101, 104, 109]
+
+
+def test_work_actually_leaves_the_parent_process() -> None:
+    results = parallel_map(identify, list(range(8)), jobs=2)
+    assert [value for value, _pid in results] == list(range(8))
+    assert any(pid != os.getpid() for _value, pid in results)
+
+
+def test_jobs_zero_means_all_cores() -> None:
+    assert parallel_map(square, [1, 2, 3, 4], jobs=0) == [1, 4, 9, 16]
+
+
+def test_single_item_runs_in_process() -> None:
+    results = parallel_map(identify, [7], jobs=8)
+    assert results == [(7, os.getpid())]
+
+
+def test_empty_input() -> None:
+    assert parallel_map(square, [], jobs=4) == []
+
+
+def test_negative_jobs_rejected() -> None:
+    with pytest.raises(ValueError, match="jobs"):
+        parallel_map(square, [1], jobs=-1)
