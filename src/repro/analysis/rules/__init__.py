@@ -5,6 +5,7 @@ Importing this package registers every rule class in
 rules by dropping a module here and importing it below).
 """
 
+from repro.analysis.rules.atomicio import AtomicIoRule
 from repro.analysis.rules.checkpoint import CheckpointInLoopRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.floats import FloatComparisonRule
@@ -33,4 +34,5 @@ __all__ = [
     "CheckpointInLoopRule",
     "FsyncBeforeAckRule",
     "SuppressionHygieneRule",
+    "AtomicIoRule",
 ]

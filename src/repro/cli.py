@@ -32,7 +32,11 @@ reached its budget-limited best-so-far.
   JSON-over-HTTP front-end over a write-ahead journal and the
   micro-batching solve engine (``--journal``, ``--batch-ms``,
   ``--timeout``; see ``docs/service.md``). Restarting with an existing
-  journal recovers the exact pre-crash state.
+  journal recovers the exact pre-crash state -- via the newest intact
+  snapshot plus the journal tail when ``--snapshot-dir`` holds one, and
+  ``--compact-bytes`` arms automatic journal compaction on growth.
+* ``geacc compact`` -- offline snapshot + journal-trim of a service
+  journal (the same operation ``POST /compact`` runs on a live server).
 * ``geacc replay`` -- drive a simulated timeline through the service as
   a load generator; reports request-latency percentiles and achieved
   MaxSum versus the offline clairvoyant bound, next to the
@@ -335,25 +339,37 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.exceptions import JournalError
     from repro.service.frontend import ArrangementService
     from repro.service.http import make_server
     from repro.service.store import StoreConfig
 
     config = StoreConfig(dimension=args.dimension, t=args.t, metric=args.metric)
-    service = ArrangementService.open(
-        args.journal,
-        config,
-        batch_ms=args.batch_ms,
-        solve_timeout=args.timeout,
-        max_pending=args.max_pending,
-        ladder=tuple(args.ladder),
-    )
+    snapshot_dir = args.snapshot_dir or f"{args.journal}.snapshots"
+    try:
+        service = ArrangementService.open(
+            args.journal,
+            config,
+            snapshot_dir=snapshot_dir,
+            retain=args.retain,
+            compact_bytes=args.compact_bytes or None,
+            batch_ms=args.batch_ms,
+            solve_timeout=args.timeout,
+            max_pending=args.max_pending,
+            ladder=tuple(args.ladder),
+        )
+    except JournalError as exc:
+        print(f"geacc serve: cannot recover: {exc}", file=sys.stderr)
+        return 2
+    service._crash_after_snapshot = args.crash_after_snapshot
     server = make_server(service, host=args.host, port=args.port)
     summary = service.state_summary()
+    recovery = summary["last_recovery"]
     print(
         f"geacc serve: journal={args.journal} seq={summary['seq']} "
         f"|V|={summary['n_events']} |U|={summary['n_users']} "
-        f"|M|={summary['n_assignments']}",
+        f"|M|={summary['n_assignments']}"
+        + (f" recovery={recovery['rung']}" if recovery else ""),
         flush=True,
     )
     # The smoke driver and scripts parse this exact line for the port.
@@ -378,34 +394,62 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.service.loadgen import replay_timeline
     from repro.simulation import random_timeline
 
+    from repro.exceptions import JournalError
+
     instance = _build_instance(args)
     print(instance)
     rng = np.random.default_rng(args.seed)
     timeline = random_timeline(instance, rng, horizon=args.horizon)
-    if args.journal:
-        journal_path = Path(args.journal)
-        report = replay_timeline(
-            instance,
-            timeline,
-            journal_path,
-            batch_ms=args.batch_ms,
-            solve_timeout=args.timeout,
-            ladder=tuple(args.ladder),
-            bound=args.bound,
-        )
-    else:
-        with tempfile.TemporaryDirectory() as tmp:
+    try:
+        if args.journal:
+            journal_path = Path(args.journal)
             report = replay_timeline(
                 instance,
                 timeline,
-                Path(tmp) / "replay.jsonl",
+                journal_path,
                 batch_ms=args.batch_ms,
                 solve_timeout=args.timeout,
                 ladder=tuple(args.ladder),
                 bound=args.bound,
             )
+        else:
+            with tempfile.TemporaryDirectory() as tmp:
+                report = replay_timeline(
+                    instance,
+                    timeline,
+                    Path(tmp) / "replay.jsonl",
+                    batch_ms=args.batch_ms,
+                    solve_timeout=args.timeout,
+                    ladder=tuple(args.ladder),
+                    bound=args.bound,
+                )
+    except JournalError as exc:
+        print(f"geacc replay: journal error: {exc}", file=sys.stderr)
+        return 2
     print(report.render())
     return 0 if report.ratio >= report.baseline_ratio else 1
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.exceptions import JournalError
+    from repro.service.journal import Journal
+    from repro.service.snapshot import compact
+
+    snapshot_dir = args.snapshot_dir or f"{args.journal}.snapshots"
+    try:
+        journal, store = Journal.recover(args.journal, snapshot_dir=snapshot_dir)
+    except JournalError as exc:
+        print(f"geacc compact: cannot recover: {exc}", file=sys.stderr)
+        return 2
+    with journal:
+        stats = compact(journal, store, snapshot_dir, retain=args.retain)
+    print(
+        f"geacc compact: snapshot seq={stats.snapshot_seq} "
+        f"journal {stats.journal_bytes_before} -> {stats.journal_bytes_after} "
+        f"bytes (base seq {stats.base_seq}, "
+        f"retained {len(stats.retained)}, pruned {len(stats.pruned)})"
+    )
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -684,7 +728,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric", default="euclidean",
         help="similarity metric (new journals only)",
     )
+    serve.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="snapshot/compaction directory (default: <journal>.snapshots)",
+    )
+    serve.add_argument(
+        "--compact-bytes", type=int, default=1 << 20, metavar="BYTES",
+        help="auto-compact when the journal exceeds this size "
+        "(0 disables; default: 1 MiB)",
+    )
+    serve.add_argument(
+        "--retain", type=int, default=2, metavar="N",
+        help="snapshots kept after a compaction (default: 2)",
+    )
+    serve.add_argument(
+        # Test hook: hard-exit between snapshot write and journal trim on
+        # the next compaction (the kill-mid-compaction smoke scenario).
+        "--crash-after-snapshot", action="store_true", help=argparse.SUPPRESS,
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    compact = subparsers.add_parser(
+        "compact", help="snapshot a service journal and trim it to the tail"
+    )
+    compact.add_argument(
+        "--journal", required=True, metavar="PATH",
+        help="write-ahead journal to compact (recovered first)",
+    )
+    compact.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="snapshot directory (default: <journal>.snapshots)",
+    )
+    compact.add_argument(
+        "--retain", type=int, default=2, metavar="N",
+        help="snapshots kept after the compaction (default: 2)",
+    )
+    compact.set_defaults(func=_cmd_compact)
 
     replay = subparsers.add_parser(
         "replay",

@@ -95,6 +95,19 @@ class JournalError(ServiceError):
     """
 
 
+class SnapshotError(JournalError):
+    """A store snapshot file is unreadable, torn, or fails its checksum.
+
+    Raised by :mod:`repro.service.snapshot` when a snapshot cannot be
+    trusted: missing/foreign header, CRC mismatch, truncated payload, or
+    a restored store whose canonical digest differs from the one the
+    writer recorded. A bad snapshot is never fatal on its own --
+    recovery falls one rung down the degradation ladder (an older
+    snapshot, else full journal replay); only when *no* durable rung
+    survives does recovery raise :class:`JournalError`.
+    """
+
+
 class ServiceOverloadedError(ServiceError):
     """The engine's admission queue is full; the request was rejected.
 

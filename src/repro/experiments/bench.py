@@ -134,6 +134,18 @@ class BenchReport:
                 f"\nrequest:        p50={1000 * s.request_p50:.2f}ms "
                 f"p99={1000 * s.request_p99:.2f}ms over {s.requests} requests"
             )
+            if s.recovery_records:
+                speedup = (
+                    s.recovery_full_seconds / s.recovery_snapshot_seconds
+                    if s.recovery_snapshot_seconds > 0
+                    else 0.0
+                )
+                rendered += (
+                    f"\nrecovery:       full-replay "
+                    f"{1000 * s.recovery_full_seconds:.2f}ms vs snapshot+tail "
+                    f"{1000 * s.recovery_snapshot_seconds:.2f}ms "
+                    f"({speedup:.1f}x, {s.recovery_records} records)"
+                )
         return rendered
 
     def to_json(self) -> dict:
@@ -314,6 +326,18 @@ def compare_reports(
                 "service.request-p50",
                 current.service.request_p50,
                 baseline.service.request_p50,
+            ),
+            # Recovery timings gate like the rest; a pre-snapshot
+            # baseline reports 0.0 and is skipped by the <= 0 guard.
+            (
+                "service.recovery-full",
+                current.service.recovery_full_seconds,
+                baseline.service.recovery_full_seconds,
+            ),
+            (
+                "service.recovery-snapshot",
+                current.service.recovery_snapshot_seconds,
+                baseline.service.recovery_snapshot_seconds,
             ),
         )
         for label, now, base_value in service_metrics:

@@ -20,6 +20,7 @@ sweep-resume format built on top of this package.
 """
 
 from repro.robustness.budget import Budget
+from repro.robustness.faultfs import FaultFS, SimulatedCrash
 from repro.robustness.harness import (
     DEFAULT_LADDER,
     raise_on_failure,
@@ -37,6 +38,8 @@ __all__ = [
     "Budget",
     "DEFAULT_LADDER",
     "FailureRecord",
+    "FaultFS",
+    "SimulatedCrash",
     "Outcome",
     "SolveResult",
     "is_transient",

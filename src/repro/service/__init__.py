@@ -11,7 +11,11 @@ by :class:`~repro.service.frontend.ArrangementService`:
 * **durability** -- :class:`~repro.service.journal.Journal`: an fsync'd
   JSONL write-ahead journal with deterministic sequence numbers and a
   :func:`~repro.service.journal.replay` that reconstructs the exact
-  pre-crash state, batch boundaries notwithstanding;
+  pre-crash state, batch boundaries notwithstanding; plus
+  :mod:`repro.service.snapshot`: atomic CRC-checksummed snapshots and
+  journal compaction, so recovery is bounded by the tail length
+  (newest snapshot + tail, degrading to older snapshots and full
+  replay when a rung is corrupt);
 * **engine** -- :class:`~repro.service.engine.MicroBatchEngine`:
   coalesces assignment requests and re-solves the un-frozen remainder
   under a budget with the degradation ladder as fallback, behind
@@ -25,20 +29,50 @@ by :class:`~repro.service.frontend.ArrangementService`:
 
 from repro.service.engine import MicroBatchEngine, PendingRequest
 from repro.service.frontend import ArrangementService
-from repro.service.journal import JOURNAL_FORMAT, Journal, replay
+from repro.service.journal import (
+    JOURNAL_FORMAT,
+    REAL_FS,
+    FileSystem,
+    Journal,
+    RecoveryReport,
+    replay,
+)
 from repro.service.loadgen import ReplayReport, replay_timeline
+from repro.service.snapshot import (
+    DEFAULT_RETAIN,
+    SNAPSHOT_FORMAT,
+    CompactionStats,
+    atomic_write_bytes,
+    compact,
+    list_snapshots,
+    load_snapshot,
+    recover_state,
+    write_snapshot,
+)
 from repro.service.store import ArrangementStore, Delta, StoreConfig
 
 __all__ = [
     "ArrangementService",
     "ArrangementStore",
+    "CompactionStats",
+    "DEFAULT_RETAIN",
     "Delta",
+    "FileSystem",
     "Journal",
     "JOURNAL_FORMAT",
     "MicroBatchEngine",
     "PendingRequest",
+    "REAL_FS",
+    "RecoveryReport",
     "ReplayReport",
+    "SNAPSHOT_FORMAT",
     "StoreConfig",
+    "atomic_write_bytes",
+    "compact",
+    "list_snapshots",
+    "load_snapshot",
+    "recover_state",
     "replay",
     "replay_timeline",
+    "write_snapshot",
 ]

@@ -8,7 +8,11 @@ the solver timings, under the same ``make bench-check`` regression gate:
 * **request** -- p50/p99 wall latency of a single blocking assignment
   request against a warm in-process service (journaled command,
   micro-batch solve over the open remainder, committed delta), the
-  number a deployment's SLO would be written against.
+  number a deployment's SLO would be written against;
+* **recovery** -- seconds to reconstruct state from the same journal
+  two ways: full replay versus newest-snapshot + tail after a
+  compaction (the number bounded-time crash recovery exists to keep
+  small).
 
 Comparability follows the solver bench rules: a fixed synthetic
 workload (seeded), ``--quick`` changes only repetition counts, and the
@@ -41,6 +45,11 @@ FULL_APPENDS = 2000
 QUICK_APPENDS = 300
 FULL_REQUESTS = 120
 QUICK_REQUESTS = 40
+FULL_RECOVERY_RECORDS = 1500
+QUICK_RECOVERY_RECORDS = 300
+#: Fraction of the journal appended *after* the compaction snapshot --
+#: the tail a snapshot+tail recovery actually replays.
+RECOVERY_TAIL_FRACTION = 0.05
 
 
 @dataclass(frozen=True)
@@ -52,6 +61,11 @@ class ServiceBench:
     requests: int
     request_p50: float
     request_p99: float
+    #: Journal length of the recovery scenario (0 = not measured, e.g.
+    #: a pre-snapshot baseline report).
+    recovery_records: int = 0
+    recovery_full_seconds: float = 0.0
+    recovery_snapshot_seconds: float = 0.0
 
     @property
     def appends_per_second(self) -> float:
@@ -64,6 +78,9 @@ class ServiceBench:
             "requests": self.requests,
             "request_p50": self.request_p50,
             "request_p99": self.request_p99,
+            "recovery_records": self.recovery_records,
+            "recovery_full_seconds": self.recovery_full_seconds,
+            "recovery_snapshot_seconds": self.recovery_snapshot_seconds,
         }
 
     @classmethod
@@ -75,6 +92,12 @@ class ServiceBench:
                 requests=int(data["requests"]),
                 request_p50=float(data["request_p50"]),
                 request_p99=float(data["request_p99"]),
+                # Optional: absent in pre-snapshot baseline reports.
+                recovery_records=int(data.get("recovery_records", 0)),
+                recovery_full_seconds=float(data.get("recovery_full_seconds", 0.0)),
+                recovery_snapshot_seconds=float(
+                    data.get("recovery_snapshot_seconds", 0.0)
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed service bench entry {data!r}: {exc}") from exc
@@ -136,20 +159,75 @@ def _bench_request_latency(
     return p50, p99
 
 
+def _bench_recovery(tmp: Path, records: int, repeats: int) -> tuple[float, float]:
+    """(full-replay, snapshot+tail) recovery seconds for one journal.
+
+    Builds a journal, times :func:`replay` over the 95% prefix, then
+    compacts there, appends the remaining 5% as the tail, and times the
+    ladder recovery (snapshot load + tail replay) of the full history.
+    Both numbers are mins over ``repeats`` read-only passes of durable
+    files, so they are directly comparable.
+    """
+    from repro.service.journal import replay
+    from repro.service.snapshot import compact, recover_state
+    from repro.service.store import ArrangementStore
+
+    config = StoreConfig(dimension=BENCH_DIMENSION)
+    rng = np.random.default_rng(BENCH_SEED)
+    path = tmp / "recovery.jsonl"
+    snapshot_dir = tmp / "recovery.snapshots"
+    tail = max(1, int(records * RECOVERY_TAIL_FRACTION))
+    attrs = rng.uniform(0, config.t, (records, BENCH_DIMENSION))
+
+    def user_args(index: int) -> dict:
+        return {"capacity": 1, "attributes": [float(x) for x in attrs[index]]}
+
+    journal = Journal.create(path, config)
+    store = ArrangementStore(config)
+    try:
+        for index in range(records - tail):
+            store.apply(journal.append("register_user", user_args(index)))
+        full_seconds = min(
+            _timed(lambda: replay(path)) for _ in range(repeats)
+        )
+        compact(journal, store, snapshot_dir, retain=2)
+        for index in range(records - tail, records):
+            store.apply(journal.append("register_user", user_args(index)))
+        snapshot_seconds = min(
+            _timed(lambda: recover_state(path, snapshot_dir)) for _ in range(repeats)
+        )
+    finally:
+        journal.close()
+    return full_seconds, snapshot_seconds
+
+
+def _timed(action) -> float:
+    started = time.perf_counter()
+    action()
+    return time.perf_counter() - started
+
+
 def run_service_bench(quick: bool = False, repeats: int = 3) -> ServiceBench:
     """Measure the serving path on the fixed bench workload."""
     appends = QUICK_APPENDS if quick else FULL_APPENDS
     requests = QUICK_REQUESTS if quick else FULL_REQUESTS
+    recovery_records = QUICK_RECOVERY_RECORDS if quick else FULL_RECOVERY_RECORDS
     with TemporaryDirectory() as tmp_name:
         tmp = Path(tmp_name)
         append_seconds = _bench_journal_appends(
             tmp, appends, repeats=1 if quick else repeats
         )
         p50, p99 = _bench_request_latency(tmp, requests)
+        recovery_full, recovery_snapshot = _bench_recovery(
+            tmp, recovery_records, repeats=1 if quick else repeats
+        )
     return ServiceBench(
         appends=appends,
         append_seconds=append_seconds,
         requests=requests,
         request_p50=p50,
         request_p99=p99,
+        recovery_records=recovery_records,
+        recovery_full_seconds=recovery_full,
+        recovery_snapshot_seconds=recovery_snapshot,
     )

@@ -10,6 +10,12 @@
 and enforces the write-ahead discipline: validate -> journal (fsync) ->
 apply, all under one state lock, so every state the store ever reaches
 is reconstructible from the journal prefix that produced it.
+
+With a ``snapshot_dir`` the service also owns the snapshot/compaction
+lifecycle (:mod:`repro.service.snapshot`): recovery walks the snapshot
++ tail ladder instead of full replay, :meth:`ArrangementService.compact`
+trims the journal behind a fresh checksummed snapshot, and
+``compact_bytes`` arms an automatic trigger on journal growth.
 """
 
 from __future__ import annotations
@@ -27,6 +33,12 @@ from repro.service.engine import (
     PendingRequest,
 )
 from repro.service.journal import Journal
+from repro.service.snapshot import (
+    DEFAULT_RETAIN,
+    CompactionStats,
+    compact,
+    list_snapshots,
+)
 from repro.service.store import (
     CMD_CANCEL_EVENT,
     CMD_FREEZE_EVENT,
@@ -61,13 +73,26 @@ class ArrangementService:
         max_pending: int = DEFAULT_MAX_PENDING,
         ladder: tuple[str, ...] = DEFAULT_LADDER,
         threaded: bool = True,
+        snapshot_dir: str | Path | None = None,
+        retain: int = DEFAULT_RETAIN,
+        compact_bytes: int | None = None,
     ) -> None:
         if store.seq != journal.seq:
             raise ServiceError(
                 f"store seq {store.seq} does not match journal seq {journal.seq}"
             )
+        if compact_bytes is not None and snapshot_dir is None:
+            raise ServiceError("compact_bytes requires a snapshot_dir")
         self.store = store
         self.journal = journal
+        self.snapshot_dir = Path(snapshot_dir) if snapshot_dir is not None else None
+        self.retain = retain
+        self.compact_bytes = compact_bytes
+        self.compactions = 0
+        self.last_compaction: CompactionStats | None = None
+        # Test hook for the kill-mid-compaction smoke scenario (hard
+        # process exit between snapshot write and journal trim).
+        self._crash_after_snapshot = False
         self._lock = threading.RLock()
         self.engine = MicroBatchEngine(
             self,
@@ -94,30 +119,55 @@ class ArrangementService:
         return cls(ArrangementStore(config), journal, **kwargs)  # type: ignore[arg-type]
 
     @classmethod
-    def recover(cls, journal_path: str | Path, **kwargs: object) -> "ArrangementService":
-        """Restart from an existing journal (truncating any torn tail)."""
-        journal, store = Journal.recover(journal_path)
-        return cls(store, journal, **kwargs)  # type: ignore[arg-type]
+    def recover(
+        cls,
+        journal_path: str | Path,
+        *,
+        snapshot_dir: str | Path | None = None,
+        config: StoreConfig | None = None,
+        **kwargs: object,
+    ) -> "ArrangementService":
+        """Restart from an existing journal (truncating any torn tail).
+
+        With ``snapshot_dir``, recovery walks the degradation ladder
+        (newest snapshot + tail -> older snapshot -> full replay) and
+        the service keeps compacting into that directory. ``config`` is
+        the last-rung safety net: an empty/headerless journal with no
+        snapshots recovers to a fresh empty store instead of failing.
+        """
+        journal, store = Journal.recover(
+            journal_path, snapshot_dir=snapshot_dir, config=config
+        )
+        return cls(store, journal, snapshot_dir=snapshot_dir, **kwargs)  # type: ignore[arg-type]
 
     @classmethod
     def open(
         cls,
         journal_path: str | Path,
         config: StoreConfig | None = None,
+        *,
+        snapshot_dir: str | Path | None = None,
         **kwargs: object,
     ) -> "ArrangementService":
-        """Recover when the journal exists, otherwise create it.
+        """Recover when anything durable exists, otherwise create fresh.
 
-        ``config`` is required for creation and ignored (the journal
-        header wins) for recovery.
+        ``config`` is required for creation and is the empty-journal
+        safety net for recovery (the journal header wins when present).
+        A missing journal next to surviving snapshots still recovers --
+        the snapshot is durable state, not a cache.
         """
-        if Path(journal_path).exists():
-            return cls.recover(journal_path, **kwargs)
+        durable = Path(journal_path).exists() or (
+            snapshot_dir is not None and bool(list_snapshots(snapshot_dir))
+        )
+        if durable:
+            return cls.recover(
+                journal_path, snapshot_dir=snapshot_dir, config=config, **kwargs
+            )
         if config is None:
             raise ServiceError(
                 f"{journal_path} does not exist and no config was given"
             )
-        return cls.create(journal_path, config, **kwargs)
+        return cls.create(journal_path, config, snapshot_dir=snapshot_dir, **kwargs)
 
     # ------------------------------------------------------------------
     # The write-ahead spine
@@ -130,6 +180,11 @@ class ArrangementService:
                 raise ServiceError("service is closed")
             record = self.journal.append(cmd, args)
             self.store.apply(record)
+            if (
+                self.compact_bytes is not None
+                and self.journal.size_bytes >= self.compact_bytes
+            ):
+                self._compact_locked()
             return record
 
     def _accept(self, cmd: str, args: dict) -> dict:
@@ -216,6 +271,39 @@ class ArrangementService:
         return self.engine.run_pending_batch()
 
     # ------------------------------------------------------------------
+    # Snapshots & compaction
+    # ------------------------------------------------------------------
+
+    def compact(self) -> CompactionStats:
+        """Snapshot the current state and trim the journal to the tail.
+
+        The ``POST /compact`` admin operation. Requires the service to
+        have a snapshot directory.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is closed")
+            if self.snapshot_dir is None:
+                raise ServiceError(
+                    "service has no snapshot directory; start it with one to "
+                    "enable compaction"
+                )
+            return self._compact_locked()
+
+    def _compact_locked(self) -> CompactionStats:
+        assert self.snapshot_dir is not None
+        stats = compact(
+            self.journal,
+            self.store,
+            self.snapshot_dir,
+            retain=self.retain,
+            crash_after_snapshot=self._crash_after_snapshot,
+        )
+        self.compactions += 1
+        self.last_compaction = stats
+        return stats
+
+    # ------------------------------------------------------------------
     # Read side
     # ------------------------------------------------------------------
 
@@ -240,7 +328,28 @@ class ArrangementService:
                 "pending": self.engine.pending,
                 "max_sum": store.max_sum(),
                 "digest": store.digest(),
+                "journal_bytes": self.journal.size_bytes,
+                "journal_base_seq": self.journal.base_seq,
+                "snapshots": self._snapshot_summary_locked(),
+                "last_recovery": (
+                    None
+                    if self.journal.last_recovery is None
+                    else self.journal.last_recovery.to_json()
+                ),
             }
+
+    def _snapshot_summary_locked(self) -> dict | None:
+        if self.snapshot_dir is None:
+            return None
+        listed = list_snapshots(self.snapshot_dir)
+        return {
+            "dir": str(self.snapshot_dir),
+            "count": len(listed),
+            "newest_seq": listed[0][0] if listed else None,
+            "retain": self.retain,
+            "compactions": self.compactions,
+            "auto_compact_bytes": self.compact_bytes,
+        }
 
     def check_invariants(self) -> None:
         with self._lock:

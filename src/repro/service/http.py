@@ -11,6 +11,7 @@ thread on the engine future, they do not hold the state lock):
 ``POST /assignments``                 ``{"user"}`` -> ``200 {"user", "events"}`` (blocks for the batch)
 ``POST /events/<id>/freeze``          -> ``200``
 ``POST /events/<id>/cancel``          -> ``200``
+``POST /compact``                     -> ``200`` compaction stats (admin; snapshot + journal trim)
 ``GET  /assignments/<user>``          -> ``200 {"user", "events"}``
 ``GET  /state``                       -> ``200`` canonical summary (seq, digest, MaxSum, ...)
 ``GET  /healthz``                     -> ``200 {"ok": true}``
@@ -112,6 +113,9 @@ class _Handler(BaseHTTPRequestHandler):
                 user = body.get("user")
                 events = service.request_assignment(user)
                 self._reply(200, {"user": user, "events": list(events)})
+            elif self.path == "/compact":
+                stats = service.compact()
+                self._reply(200, stats.to_json())
             else:
                 match = _EVENT_ACTION.match(self.path)
                 if match:

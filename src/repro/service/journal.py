@@ -4,11 +4,16 @@ Durability contract (the same crash-safe style as the sweep checkpoints
 in :mod:`repro.experiments.runner`, hardened for a serving path):
 
 * the header line names the format and carries the immutable
-  :class:`~repro.service.store.StoreConfig`;
+  :class:`~repro.service.store.StoreConfig` plus the journal's **base
+  sequence number** -- 0 for a journal that starts at the beginning of
+  history, ``B`` for a journal compacted against a snapshot at seq
+  ``B`` (records before ``B + 1`` were trimmed away and live in a
+  snapshot, see :mod:`repro.service.snapshot`);
 * every accepted command is appended as one JSON line -- written,
   flushed and ``fsync``'d **before** the store mutates (write-ahead);
-* records carry contiguous sequence numbers starting at 1, assigned by
-  the journal, so replay can prove it saw every accepted command;
+* records carry contiguous sequence numbers starting at ``base_seq +
+  1``, assigned by the journal, so replay can prove it saw every
+  accepted command;
 * a torn *final* line (the crash window is exactly one partial
   ``write``) is detected -- undecodable JSON or a missing trailing
   newline -- truncated away, and its command counts as never accepted
@@ -19,17 +24,28 @@ in :mod:`repro.experiments.runner`, hardened for a serving path):
   state.
 
 :func:`replay` folds a journal back into a fresh
-:class:`~repro.service.store.ArrangementStore`; because the store is a
+:class:`~repro.service.store.ArrangementStore` (or onto a snapshot-
+restored base store for a compacted journal); because the store is a
 pure state machine over records (solver outputs are journaled as
 ``commit_batch`` deltas, never re-solved), replay is deterministic and
 independent of the micro-batch boundaries, solver timing, and thread
 scheduling of the process that wrote the journal.
+
+Every byte this module (and :mod:`repro.service.snapshot`) moves to
+disk goes through a :class:`FileSystem` seam, so the fault-injection
+layer in :mod:`repro.robustness.faultfs` can substitute an in-memory
+filesystem and enumerate a crash at every write/flush/fsync/rename.
+These two modules are the only files under ``src/repro/service/``
+allowed to open files for writing (lint rule R14,
+``docs/static-analysis.md``); everything else must route through
+:func:`repro.service.snapshot.atomic_write_bytes`.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterator
 
@@ -40,7 +56,97 @@ from repro.service.store import ArrangementStore, StoreConfig
 JOURNAL_FORMAT = "geacc-service-v1"
 
 
-def _parse_header(line: str, path: Path) -> StoreConfig:
+class FileSystem:
+    """Real-filesystem durability primitives (the fault-injection seam).
+
+    The journal and snapshot layers never call ``open``/``os.fsync``/
+    ``os.replace`` directly on module level state -- they go through an
+    instance of this class (:data:`REAL_FS` in production), so
+    :class:`repro.robustness.faultfs.FaultFS` can substitute an
+    in-memory filesystem and inject a crash before any single
+    durability-relevant operation.
+    """
+
+    def open(self, path: str | Path, mode: str) -> IO[bytes]:
+        return open(path, mode)
+
+    def fsync(self, handle: IO[bytes]) -> None:
+        os.fsync(handle.fileno())
+
+    def fsync_dir(self, directory: str | Path) -> None:
+        """Flush a directory entry table (makes renames/creates durable)."""
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str | Path) -> None:
+        os.remove(path)
+
+    def read_bytes(self, path: str | Path) -> bytes:
+        return Path(path).read_bytes()
+
+    def exists(self, path: str | Path) -> bool:
+        return Path(path).exists()
+
+    def listdir(self, path: str | Path) -> list[str]:
+        return os.listdir(path)
+
+    def mkdir(self, path: str | Path) -> None:
+        os.makedirs(path, exist_ok=True)
+
+
+#: The production filesystem; tests substitute a ``FaultFS``.
+REAL_FS = FileSystem()
+
+
+@dataclass(frozen=True)
+class JournalHeader:
+    """Parsed first line of a journal: the config and the base seq."""
+
+    config: StoreConfig
+    base_seq: int = 0
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """How a recovery reconstructed state (which ladder rung fired).
+
+    ``rung`` is one of:
+
+    * ``"snapshot+tail"`` -- a snapshot restored, journal tail replayed
+      on top (the fast path);
+    * ``"snapshot-only"`` -- a snapshot restored and the journal held no
+      durable header (crash during journal creation/rewrite); the
+      journal file was rewritten from the snapshot's seq;
+    * ``"full-replay"`` -- no usable snapshot; the whole journal was
+      replayed from seq 1;
+    * ``"recreate"`` -- nothing durable existed at all (empty/headerless
+      journal, no snapshot) and a config was supplied, so recovery
+      returned a fresh empty store.
+    """
+
+    rung: str
+    snapshot_seq: int | None = None
+    journal_base_seq: int = 0
+    records_replayed: int = 0
+    snapshots_rejected: tuple[str, ...] = field(default_factory=tuple)
+
+    def to_json(self) -> dict:
+        return {
+            "rung": self.rung,
+            "snapshot_seq": self.snapshot_seq,
+            "journal_base_seq": self.journal_base_seq,
+            "records_replayed": self.records_replayed,
+            "snapshots_rejected": list(self.snapshots_rejected),
+        }
+
+
+def _parse_header(line: str, path: Path) -> JournalHeader:
     try:
         header = json.loads(line)
     except json.JSONDecodeError as exc:
@@ -50,7 +156,39 @@ def _parse_header(line: str, path: Path) -> StoreConfig:
             f"{path}: not a {JOURNAL_FORMAT} journal "
             f"(header {str(header)[:80]!r})"
         )
-    return StoreConfig.from_json(header.get("config", {}))
+    base_seq = header.get("base_seq", 0)
+    if not isinstance(base_seq, int) or base_seq < 0:
+        raise JournalError(f"{path}: malformed journal base_seq {base_seq!r}")
+    return JournalHeader(
+        config=StoreConfig.from_json(header.get("config", {})),
+        base_seq=base_seq,
+    )
+
+
+def _header_bytes(config: StoreConfig, base_seq: int) -> bytes:
+    return _encode(
+        {"format": JOURNAL_FORMAT, "config": config.to_json(), "base_seq": base_seq}
+    )
+
+
+def read_header(path: str | Path, fs: FileSystem = REAL_FS) -> JournalHeader | None:
+    """Parse a journal's durable header line, if one exists.
+
+    Returns ``None`` when the file is missing, empty, or holds no
+    *complete* (newline-terminated) first line -- the crash window of
+    journal creation, where nothing of the journal is durable yet.
+    A complete-but-foreign/undecodable header raises
+    :class:`JournalError` (that file was not produced by this code).
+    """
+    path = Path(path)
+    try:
+        blob = fs.read_bytes(path)
+    except OSError:
+        return None
+    newline = blob.find(b"\n")
+    if newline < 0:
+        return None
+    return _parse_header(blob[:newline].decode("utf-8", errors="replace"), path)
 
 
 class Journal:
@@ -59,13 +197,31 @@ class Journal:
     Use :meth:`create` for a fresh journal or :meth:`recover` to open an
     existing one (truncating a torn tail); both return a journal whose
     :attr:`seq` continues the record numbering exactly where the file
-    left off.
+    left off. :attr:`base_seq` is the seq of the snapshot this journal
+    was last compacted against (0 = full history);
+    :attr:`size_bytes` tracks the live file size so the front-end can
+    trigger compaction on growth.
     """
 
-    def __init__(self, path: Path, config: StoreConfig, seq: int, handle: IO[bytes]):
+    def __init__(
+        self,
+        path: Path,
+        config: StoreConfig,
+        seq: int,
+        handle: IO[bytes],
+        *,
+        base_seq: int = 0,
+        size_bytes: int = 0,
+        fs: FileSystem = REAL_FS,
+        last_recovery: RecoveryReport | None = None,
+    ):
         self.path = path
         self.config = config
         self.seq = seq
+        self.base_seq = base_seq
+        self.size_bytes = size_bytes
+        self.last_recovery = last_recovery
+        self._fs = fs
         self._handle: IO[bytes] | None = handle
 
     # ------------------------------------------------------------------
@@ -73,37 +229,129 @@ class Journal:
     # ------------------------------------------------------------------
 
     @classmethod
-    def create(cls, path: str | Path, config: StoreConfig) -> "Journal":
-        """Start a new journal; refuses to overwrite an existing file."""
+    def create(
+        cls,
+        path: str | Path,
+        config: StoreConfig,
+        *,
+        base_seq: int = 0,
+        fs: FileSystem = REAL_FS,
+    ) -> "Journal":
+        """Start a new journal; refuses to overwrite an existing file.
+
+        The header is fsync'd and so is the parent directory, so a
+        journal either exists durably with a complete header or (crash
+        mid-create) recovery sees nothing and starts over.
+        """
         path = Path(path)
-        if path.exists():
+        if fs.exists(path):
             raise JournalError(f"{path}: journal already exists (use recover)")
-        header = {"format": JOURNAL_FORMAT, "config": config.to_json()}
-        handle = open(path, "xb")
-        handle.write(_encode(header))
+        blob = _header_bytes(config, base_seq)
+        handle = fs.open(path, "xb")
+        handle.write(blob)
         handle.flush()
-        os.fsync(handle.fileno())
-        return cls(path, config, seq=0, handle=handle)
+        fs.fsync(handle)
+        fs.fsync_dir(path.parent)
+        return cls(
+            path,
+            config,
+            seq=base_seq,
+            handle=handle,
+            base_seq=base_seq,
+            size_bytes=len(blob),
+            fs=fs,
+        )
 
     @classmethod
-    def recover(cls, path: str | Path) -> tuple["Journal", ArrangementStore]:
-        """Reopen ``path``, replay it, and continue appending.
+    def recover(
+        cls,
+        path: str | Path,
+        *,
+        snapshot_dir: str | Path | None = None,
+        config: StoreConfig | None = None,
+        fs: FileSystem = REAL_FS,
+    ) -> tuple["Journal", ArrangementStore]:
+        """Reopen ``path``, reconstruct its state, and continue appending.
+
+        With ``snapshot_dir``, recovery walks the degradation ladder
+        (:func:`repro.service.snapshot.recover_state`): newest loadable
+        snapshot + journal tail -> older snapshot + tail -> full journal
+        replay -> :class:`JournalError` only when nothing durable
+        survives. Without it, only full replay is possible (a compacted
+        journal then refuses to recover rather than silently dropping
+        its pre-snapshot history).
+
+        ``config`` is the last rung's safety net: when neither journal
+        header nor any snapshot is durable -- a crash during the very
+        first journal creation, or an empty/zero-length file -- recovery
+        returns a fresh empty store under that config instead of
+        failing. Without ``config``, that case raises.
 
         A torn final line is truncated from the file before the journal
         re-opens for append, so the live file never contains garbage in
-        the middle.
+        the middle. The chosen rung is recorded on
+        ``journal.last_recovery``.
 
         Returns:
             ``(journal, store)`` -- the journal positioned after the
             last durable record, and the store reconstructed from it.
         """
         path = Path(path)
-        store, durable_bytes = replay(path)
-        handle = open(path, "r+b")
-        handle.truncate(durable_bytes)
-        handle.seek(0, os.SEEK_END)
-        config = store.config
-        return cls(path, config, seq=store.seq, handle=handle), store
+        if snapshot_dir is not None:
+            from repro.service.snapshot import recover_state
+
+            store, durable_bytes, report = recover_state(
+                path, snapshot_dir, config=config, fs=fs
+            )
+        else:
+            header = read_header(path, fs)
+            if header is None:
+                if config is None:
+                    raise JournalError(
+                        f"{path}: no durable journal header and no snapshots to "
+                        "recover from"
+                    )
+                store = ArrangementStore(config)
+                durable_bytes = -1
+                report = RecoveryReport(rung="recreate")
+            elif header.base_seq:
+                raise JournalError(
+                    f"{path}: compacted journal (base seq {header.base_seq}) "
+                    "needs its snapshot directory to recover"
+                )
+            else:
+                store, durable_bytes = replay(path, fs=fs)
+                report = RecoveryReport(
+                    rung="full-replay", records_replayed=store.seq
+                )
+        if durable_bytes < 0:
+            # No durable header survived: rewrite the journal outright so
+            # the file on disk matches the recovered state (base = the
+            # recovered seq; there is no tail to preserve).
+            blob = _header_bytes(store.config, base_seq=store.seq)
+            handle = fs.open(path, "wb")
+            handle.write(blob)
+            handle.flush()
+            fs.fsync(handle)
+            fs.fsync_dir(path.parent)
+            base_seq = store.seq
+            durable_bytes = len(blob)
+        else:
+            handle = fs.open(path, "r+b")
+            handle.truncate(durable_bytes)
+            handle.seek(0, os.SEEK_END)
+            base_seq = report.journal_base_seq
+        journal = cls(
+            path,
+            store.config,
+            seq=store.seq,
+            handle=handle,
+            base_seq=base_seq,
+            size_bytes=durable_bytes,
+            fs=fs,
+            last_recovery=report,
+        )
+        return journal, store
 
     # ------------------------------------------------------------------
     # The write path
@@ -119,11 +367,53 @@ class Journal:
         if self._handle is None:
             raise JournalError(f"{self.path}: journal is closed")
         record = {"seq": self.seq + 1, "cmd": cmd, **args}
-        self._handle.write(_encode(record))
+        blob = _encode(record)
+        self._handle.write(blob)
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        self._fs.fsync(self._handle)
         self.seq += 1
+        self.size_bytes += len(blob)
         return record
+
+    def rewrite_tail(self, base_seq: int) -> None:
+        """Atomically trim the journal to records after ``base_seq``.
+
+        The compaction primitive: rewrites the file as a fresh header
+        (``base_seq`` recorded) plus every record with seq >
+        ``base_seq``, via tmp file + fsync + rename + directory fsync.
+        A crash anywhere in between leaves either the old journal or the
+        new one -- never a mix -- and both replay to the same state given
+        the snapshot at ``base_seq`` (which the caller,
+        :func:`repro.service.snapshot.compact`, wrote first).
+        """
+        if self._handle is None:
+            raise JournalError(f"{self.path}: journal is closed")
+        if base_seq < self.base_seq or base_seq > self.seq:
+            raise JournalError(
+                f"{self.path}: cannot rebase journal to seq {base_seq} "
+                f"(live range is [{self.base_seq}, {self.seq}])"
+            )
+        fs = self._fs
+        parts = [_header_bytes(self.config, base_seq)]
+        for item, _ in iter_records(self.path, fs=fs):
+            if isinstance(item, dict) and item["seq"] > base_seq:
+                parts.append(_encode(item))
+        blob = b"".join(parts)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp_handle = fs.open(tmp, "wb")
+        tmp_handle.write(blob)
+        tmp_handle.flush()
+        fs.fsync(tmp_handle)
+        tmp_handle.close()
+        self._handle.close()
+        self._handle = None
+        fs.replace(tmp, self.path)
+        fs.fsync_dir(self.path.parent)
+        handle = fs.open(self.path, "r+b")
+        handle.seek(0, os.SEEK_END)
+        self._handle = handle
+        self.base_seq = base_seq
+        self.size_bytes = len(blob)
 
     def close(self) -> None:
         if self._handle is not None:
@@ -138,7 +428,9 @@ class Journal:
 
     def __repr__(self) -> str:
         state = "closed" if self._handle is None else "open"
-        return f"Journal({self.path}, seq={self.seq}, {state})"
+        return (
+            f"Journal({self.path}, seq={self.seq}, base={self.base_seq}, {state})"
+        )
 
 
 def _encode(record: dict) -> bytes:
@@ -147,13 +439,16 @@ def _encode(record: dict) -> bytes:
     )
 
 
-def iter_records(path: str | Path) -> Iterator[tuple[StoreConfig | dict, int]]:
-    """Yield ``(header_config | record, end_offset)`` pairs from a journal.
+def iter_records(
+    path: str | Path, fs: FileSystem = REAL_FS
+) -> Iterator[tuple[JournalHeader | dict, int]]:
+    """Yield ``(header | record, end_offset)`` pairs from a journal.
 
-    The first yield is the parsed :class:`StoreConfig`; every later
+    The first yield is the parsed :class:`JournalHeader`; every later
     yield is a decoded record dict. ``end_offset`` is the byte offset
     just past that line -- the durable prefix length if everything after
-    it were torn away.
+    it were torn away. Record seqs are checked contiguous from
+    ``header.base_seq + 1``.
 
     A torn final line (no trailing newline, or undecodable JSON on the
     last line) terminates the iteration silently; torn or undecodable
@@ -161,7 +456,7 @@ def iter_records(path: str | Path) -> Iterator[tuple[StoreConfig | dict, int]]:
     """
     path = Path(path)
     try:
-        blob = path.read_bytes()
+        blob = fs.read_bytes(path)
     except OSError as exc:
         raise JournalError(f"{path}: cannot read journal: {exc}") from exc
     if not blob:
@@ -186,7 +481,9 @@ def iter_records(path: str | Path) -> Iterator[tuple[StoreConfig | dict, int]]:
                 return
             raise JournalError(f"{path}:{index + 1}: corrupt record: {exc}") from exc
         if index == 0:
-            yield _parse_header(raw.decode("utf-8"), path), line_end
+            header = _parse_header(raw.decode("utf-8"), path)
+            expected_seq = header.base_seq + 1
+            yield header, line_end
         else:
             seq = decoded.get("seq")
             if seq != expected_seq:
@@ -203,8 +500,20 @@ def iter_records(path: str | Path) -> Iterator[tuple[StoreConfig | dict, int]]:
         return
 
 
-def replay(path: str | Path) -> tuple[ArrangementStore, int]:
+def replay(
+    path: str | Path,
+    *,
+    base: ArrangementStore | None = None,
+    fs: FileSystem = REAL_FS,
+) -> tuple[ArrangementStore, int]:
     """Reconstruct the store a journal describes.
+
+    Without ``base``, the journal must start at the beginning of history
+    (``base_seq == 0``) and a fresh store is folded from seq 1. With
+    ``base`` -- a snapshot-restored store at some seq ``S`` -- the
+    journal's ``base_seq`` must be <= ``S`` (its tail must bridge from
+    the snapshot), records at or before ``S`` are skipped, and the rest
+    are applied **in place** on ``base``.
 
     Returns:
         ``(store, durable_bytes)`` -- the rebuilt
@@ -212,21 +521,41 @@ def replay(path: str | Path) -> tuple[ArrangementStore, int]:
         prefix (everything past it is a torn tail to truncate).
 
     Raises:
-        JournalError: On a corrupt (not merely torn) journal.
+        JournalError: On a corrupt (not merely torn) journal, or a
+            ``base``/journal mismatch.
     """
     store: ArrangementStore | None = None
     durable = 0
-    for item, end_offset in iter_records(path):
+    for item, end_offset in iter_records(path, fs=fs):
         if store is None:
-            if not isinstance(item, StoreConfig):
+            if not isinstance(item, JournalHeader):
                 raise JournalError(f"{path}: first record is not a header")
-            store = ArrangementStore(item)
+            if base is None:
+                if item.base_seq:
+                    raise JournalError(
+                        f"{path}: compacted journal (base seq {item.base_seq}) "
+                        "cannot replay without its snapshot"
+                    )
+                store = ArrangementStore(item.config)
+            else:
+                if item.config != base.config:
+                    raise JournalError(
+                        f"{path}: journal config {item.config.to_json()} does not "
+                        f"match snapshot config {base.config.to_json()}"
+                    )
+                if item.base_seq > base.seq:
+                    raise JournalError(
+                        f"{path}: journal tail starts at seq {item.base_seq + 1}, "
+                        f"past the snapshot at seq {base.seq}"
+                    )
+                store = base
         else:
             assert isinstance(item, dict)
-            # Replay folds records that are already durable -- the append
-            # this apply answers to happened in the process that wrote the
-            # journal, so the write-ahead order is satisfied by construction.
-            store.apply(item)  # geacc-lint: disable=R9 reason=replaying records already durable in this journal
+            if item["seq"] > store.seq:
+                # Replay folds records that are already durable -- the append
+                # this apply answers to happened in the process that wrote the
+                # journal, so the write-ahead order is satisfied by construction.
+                store.apply(item)  # geacc-lint: disable=R9 reason=replaying records already durable in this journal
         durable = end_offset
     if store is None:
         raise JournalError(f"{path}: journal holds no durable header")

@@ -1,11 +1,13 @@
 """End-to-end crash-recovery smoke: serve, mutate, kill -9, recover.
 
-One scenario, two drivers: CI runs ``python -m repro.service.smoke``
+Two scenarios, two drivers: CI runs ``python -m repro.service.smoke``
 (exit 0 = the crash-recovery invariant held), and
-``tests/service/test_crash_smoke.py`` calls :func:`run_smoke` so the
-same end-to-end path is exercised by the tier-1 suite.
+``tests/service/test_crash_smoke.py`` calls :func:`run_smoke` /
+:func:`run_compaction_smoke` so the same end-to-end paths are exercised
+by the tier-1 suite.
 
-The scenario is the acceptance criterion verbatim:
+Scenario A (:func:`run_smoke`) is the PR 4 acceptance criterion
+verbatim:
 
 1. start ``geacc serve`` on an ephemeral port with a fresh journal;
 2. post an event, register a user, request an assignment over HTTP and
@@ -16,6 +18,15 @@ The scenario is the acceptance criterion verbatim:
 5. assert the recovered state digest equals an independent
    :func:`repro.service.journal.replay` of the journal, and that the
    assignment from step 2 survived.
+
+Scenario B (:func:`run_compaction_smoke`) kills the server in the
+widest compaction crash window -- after the snapshot is durably written
+but before the journal is trimmed (the hidden
+``--crash-after-snapshot`` serve flag hard-exits there) -- then
+restarts and requires the recovered digest to equal the pre-crash one
+via the snapshot + tail ladder rung. A second pass compacts for real,
+kill -9s immediately after, and requires the same equality from the
+trimmed journal.
 
 Uses ``urllib`` (a client, not a server -- rule R8 bans server-side
 socket primitives outside this package, and the subprocess boundary is
@@ -184,9 +195,115 @@ def run_smoke(workdir: str | Path | None = None, verbose: bool = False) -> None:
     say("crash-recovery smoke passed")
 
 
+def run_compaction_smoke(
+    workdir: str | Path | None = None, verbose: bool = False
+) -> None:
+    """Kill -9 mid-compaction; require clean snapshot+tail recovery."""
+
+    def say(message: str) -> None:
+        if verbose:
+            print(message, flush=True)
+
+    with tempfile.TemporaryDirectory(dir=workdir) as tmp:
+        journal = Path(tmp) / "service.jsonl"
+        # --compact-bytes 0 disables the automatic trigger so the POST
+        # /compact below is the only compaction; --crash-after-snapshot
+        # hard-exits between the snapshot write and the journal trim.
+        server = ServeProcess(
+            journal, extra_args=("--compact-bytes", "0", "--crash-after-snapshot")
+        )
+        try:
+            say(f"serving at {server.base} (journal {journal})")
+            event = _request(
+                server.base,
+                "POST",
+                "/events",
+                {"capacity": 3, "attributes": [10.0, 20.0]},
+            )["event"]
+            user = _request(
+                server.base,
+                "POST",
+                "/users",
+                {"capacity": 2, "attributes": [11.0, 19.0]},
+            )["user"]
+            _request(server.base, "POST", "/assignments", {"user": user})
+            pre_crash = _request(server.base, "GET", "/state")
+            say(f"pre-crash state: {pre_crash}")
+            try:
+                _request(server.base, "POST", "/compact")
+            except (urllib.error.URLError, ConnectionError, OSError):
+                pass  # the process died mid-request -- that is the scenario
+            else:
+                raise ServiceError(
+                    "compaction answered despite --crash-after-snapshot"
+                )
+            exit_code = server.process.wait(timeout=30)
+            say(f"server hard-exited mid-compaction with code {exit_code}")
+            if exit_code == 0:
+                raise ServiceError("mid-compaction crash exited 0")
+        finally:
+            server.terminate()
+
+        # Restart (no crash flag): the snapshot is durable, the journal
+        # untrimmed -- recovery must take the snapshot + tail rung.
+        server = ServeProcess(journal, extra_args=("--compact-bytes", "0"))
+        try:
+            post_crash = _request(server.base, "GET", "/state")
+            say(f"post-crash state: {post_crash}")
+            if post_crash["digest"] != pre_crash["digest"]:
+                raise ServiceError(
+                    "state after mid-compaction crash diverges: "
+                    f"{post_crash['digest']} != {pre_crash['digest']}"
+                )
+            recovery = post_crash["last_recovery"]
+            if not recovery or recovery["rung"] != "snapshot+tail":
+                raise ServiceError(
+                    f"expected snapshot+tail recovery, got {recovery}"
+                )
+            snapshots = post_crash["snapshots"]
+            if not snapshots or snapshots["count"] < 1:
+                raise ServiceError(
+                    f"mid-compaction snapshot did not survive: {snapshots}"
+                )
+            # Now compact for real and kill -9 right after: recovery from
+            # the *trimmed* journal must still reproduce the state.
+            stats = _request(server.base, "POST", "/compact")
+            say(f"real compaction: {stats}")
+            second = _request(
+                server.base,
+                "POST",
+                "/users",
+                {"capacity": 1, "attributes": [9.0, 21.0]},
+            )["user"]
+            _request(server.base, "POST", "/assignments", {"user": second})
+            pre_kill = _request(server.base, "GET", "/state")
+        finally:
+            server.kill9()
+        say("killed -9 after compaction; restarting")
+
+        server = ServeProcess(journal, extra_args=("--compact-bytes", "0"))
+        try:
+            final = _request(server.base, "GET", "/state")
+            say(f"final state: {final}")
+            if final["digest"] != pre_kill["digest"]:
+                raise ServiceError(
+                    "state after post-compaction crash diverges: "
+                    f"{final['digest']} != {pre_kill['digest']}"
+                )
+            if final["journal_base_seq"] != stats["base_seq"]:
+                raise ServiceError(
+                    f"journal base seq {final['journal_base_seq']} does not "
+                    f"match the compaction's {stats['base_seq']}"
+                )
+        finally:
+            server.terminate()
+    say("mid-compaction crash-recovery smoke passed")
+
+
 def main() -> int:
     try:
         run_smoke(verbose=True)
+        run_compaction_smoke(verbose=True)
     except ServiceError as exc:
         print(f"SMOKE FAILED: {exc}", file=sys.stderr)
         return 1

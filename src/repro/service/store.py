@@ -620,6 +620,68 @@ class ArrangementStore:
             "user_remaining": list(self._user_remaining),
         }
 
+    @classmethod
+    def from_canonical(cls, state: dict) -> "ArrangementStore":
+        """Rebuild a store from a :meth:`canonical_state` dict.
+
+        The inverse of :meth:`canonical_state`, used by the snapshot
+        layer: entities and assignments are reconstructed directly (no
+        journal records re-applied), then the O(1) remaining-capacity
+        counters are cross-checked against the snapshot's own -- any
+        drift means the payload does not describe a state this class can
+        produce.
+
+        Raises:
+            ServiceError: On a structurally malformed or internally
+                inconsistent canonical payload.
+        """
+        try:
+            store = cls(StoreConfig.from_json(state["config"]))
+            store.seq = int(state["seq"])
+            store.requests_seen = int(state["requests_seen"])
+            store.batches_committed = int(state["batches_committed"])
+            for entry in state["events"]:
+                store._events.append(
+                    _LiveEvent(
+                        capacity=int(entry["capacity"]),
+                        attributes=tuple(float(x) for x in entry["attributes"]),
+                        frozen=bool(entry["frozen"]),
+                        cancelled=bool(entry["cancelled"]),
+                        conflicts={int(v) for v in entry["conflicts"]},
+                    )
+                )
+                store._users_of_event.append(set())
+                store._event_remaining.append(int(entry["capacity"]))
+            for entry in state["users"]:
+                store._users.append(
+                    _LiveUser(
+                        capacity=int(entry["capacity"]),
+                        attributes=tuple(float(x) for x in entry["attributes"]),
+                    )
+                )
+                store._events_of_user.append(set())
+                store._user_remaining.append(int(entry["capacity"]))
+            for pair in state["assignments"]:
+                event, user = (int(pair[0]), int(pair[1]))
+                if not (0 <= event < store.n_events and 0 <= user < store.n_users):
+                    raise ValueError(f"assignment ({event}, {user}) out of range")
+                if user in store._users_of_event[event]:
+                    raise ValueError(f"duplicate assignment ({event}, {user})")
+                store._assign(event, user)
+            expected_event = [int(v) for v in state["event_remaining"]]
+            expected_user = [int(v) for v in state["user_remaining"]]
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed canonical state: {exc}") from exc
+        if (
+            store._event_remaining != expected_event
+            or store._user_remaining != expected_user
+        ):
+            raise ServiceError(
+                "canonical state is internally inconsistent: remaining-capacity "
+                "fields disagree with the assignment list"
+            )
+        return store
+
     def digest(self) -> str:
         """SHA-256 over the canonical state (stable across processes)."""
         payload = json.dumps(

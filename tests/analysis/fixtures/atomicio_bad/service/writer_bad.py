@@ -1,0 +1,19 @@
+"""R14 fixture: raw writes in a service module -- every one flagged."""
+
+import os
+from pathlib import Path
+
+
+def persist(path: Path, blob: bytes, text: str) -> None:
+    with open(path, "w") as sink:
+        sink.write(text)
+    with path.open("wb") as sink:
+        sink.write(blob)
+    with open(path, mode="a") as sink:
+        sink.write(text)
+    with open(path, "r+") as sink:
+        sink.write(text)
+    os.replace(str(path) + ".tmp", path)
+    os.rename(path, str(path) + ".bak")
+    path.write_text(text)
+    path.write_bytes(blob)

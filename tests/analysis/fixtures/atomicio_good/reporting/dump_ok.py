@@ -1,0 +1,6 @@
+"""R14 scope fixture: writes outside a ``service/`` directory pass."""
+
+
+def dump(path: str, text: str) -> None:
+    with open(path, "w") as sink:
+        sink.write(text)

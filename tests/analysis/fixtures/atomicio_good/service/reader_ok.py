@@ -1,0 +1,14 @@
+"""R14 silent fixture: reads, computed modes, and str.replace pass."""
+
+from pathlib import Path
+
+
+def load(path: Path, mode: str, name: str) -> bytes:
+    with open(path) as source:  # absent mode defaults to "r"
+        source.read()
+    with open(path, "rb") as source:
+        source.read()
+    with path.open(mode) as source:  # non-literal mode: not provably a write
+        source.read()
+    path.read_text(encoding="utf-8")
+    return name.replace("-", "_").encode()  # str.replace, not os.replace

@@ -1,0 +1,240 @@
+"""Crash-point enumeration: recovery is exact at every injected crash.
+
+The tentpole proof of bounded-time crash recovery. A reference run over
+an in-memory :class:`FaultFS` counts every durability-relevant
+operation (create/write/flush/fsync/rename/directory-fsync/remove) the
+journal + snapshot + compaction paths perform; the sweep then re-runs
+the workload crashing *before each one*, materialises both post-crash
+worlds -- **durable** (everything un-fsync'd lost: the pessimistic
+disk) and **cached** (nothing lost, final write possibly torn) -- and
+requires recovery to reconstruct a digest-exact prefix of acknowledged
+history that includes every acknowledged command. Writes additionally
+get a torn variant (a strict prefix of the crashing write applied).
+
+The workload compacts three times with ``retain=2`` so the sweep's
+crash windows cover snapshot writes, the journal tail rewrite, *and*
+snapshot pruning (the third compaction removes the oldest snapshot).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.robustness.faultfs import FaultFS, SimulatedCrash
+from repro.service.journal import Journal
+from repro.service.snapshot import compact, list_snapshots, snapshot_path
+from repro.service.store import ArrangementStore, StoreConfig
+
+CONFIG = StoreConfig(dimension=2, t=10.0)
+
+#: The virtual root every FaultFS run mounts; nothing real lives here.
+ROOT = Path("/faultfs-virtual")
+
+COMMANDS = [
+    ("post_event", {"capacity": 2, "attributes": [1.0, 1.0], "conflicts": []}),
+    ("register_user", {"capacity": 1, "attributes": [2.0, 2.0]}),
+    ("post_event", {"capacity": 1, "attributes": [5.0, 5.0], "conflicts": [0]}),
+    ("register_user", {"capacity": 2, "attributes": [6.0, 4.0]}),
+    ("request_assignment", {"user": 0}),
+    ("commit_batch", {"assign": [[0, 0]], "unassign": [], "users": [0]}),
+    ("freeze_event", {"event": 0}),
+    ("register_user", {"capacity": 1, "attributes": [3.0, 7.0]}),
+]
+
+#: Compact after these command indices: snapshots at seqs 2, 4 and 6,
+#: so the third compaction (retain=2) prunes the seq-2 snapshot and the
+#: sweep covers the remove path too.
+COMPACT_AFTER = {1, 3, 5}
+
+
+def reference_digests() -> dict[int, str]:
+    """Digest of the state after each acknowledged prefix, keyed by seq."""
+    store = ArrangementStore(CONFIG)
+    digests = {0: store.digest()}
+    for seq, (cmd, args) in enumerate(COMMANDS, start=1):
+        store.apply({"seq": seq, "cmd": cmd, **args})
+        digests[seq] = store.digest()
+    return digests
+
+
+def drive(fs: FaultFS, acked: list[int]) -> None:
+    """The workload: append + apply each command, compacting on schedule.
+
+    ``acked`` collects each record's seq as soon as ``append`` returns
+    (the fsync'd acknowledgement point) so a crash mid-run leaves
+    exactly the acknowledged prefix behind for the caller to check.
+    """
+    journal = Journal.create(ROOT / "journal.jsonl", CONFIG, fs=fs)
+    store = ArrangementStore(CONFIG)
+    for index, (cmd, args) in enumerate(COMMANDS):
+        record = journal.append(cmd, args)
+        acked.append(record["seq"])
+        store.apply(record)
+        if index in COMPACT_AFTER:
+            compact(journal, store, ROOT / "snapshots", retain=2, fs=fs)
+
+
+def recover_world(fs: FaultFS, target: Path, world: str) -> ArrangementStore:
+    """Materialise one post-crash world and recover from the real files."""
+    fs.materialise(target, world)
+    journal, store = Journal.recover(
+        target / "journal.jsonl",
+        snapshot_dir=target / "snapshots",
+        config=CONFIG,
+    )
+    journal.close()
+    return store
+
+
+def test_reference_run_covers_every_operation_kind() -> None:
+    fs = FaultFS(ROOT)
+    drive(fs, [])
+    kinds = set(fs.ops)
+    # The sweep is only a proof if the workload actually exercises the
+    # journal append path, the atomic snapshot write, the tail rewrite
+    # AND the retention prune.
+    assert {"create", "write", "flush", "fsync", "replace",
+            "fsync_dir", "remove"} <= kinds, kinds
+
+
+def test_crash_sweep_recovers_exact_acknowledged_prefix(tmp_path: Path) -> None:
+    digests = reference_digests()
+    reference = FaultFS(ROOT)
+    drive(reference, [])
+    assert reference.op_count > 0
+
+    checked = 0
+    for crash_at in range(1, reference.op_count + 1):
+        variants = [False]
+        if reference.ops[crash_at - 1] == "write":
+            variants.append(True)  # the torn-write case
+        for torn in variants:
+            fs = FaultFS(ROOT, crash_at=crash_at, torn=torn)
+            acked: list[int] = []
+            with pytest.raises(SimulatedCrash):
+                drive(fs, acked)
+            durable_floor = max(acked, default=0)
+            for world in ("durable", "cached"):
+                label = f"k{crash_at}-{'torn' if torn else 'clean'}-{world}"
+                store = recover_world(fs, tmp_path / label, world)
+                # Nothing acknowledged may be lost...
+                assert store.seq >= durable_floor, (
+                    f"{label}: recovered seq {store.seq} lost acknowledged "
+                    f"records (floor {durable_floor}; ops {fs.ops})"
+                )
+                # ...and the state must be byte-exact for some prefix of
+                # history (never an invented or reordered record).
+                assert store.digest() == digests[store.seq], label
+                store.check_invariants()
+                checked += 1
+    # The sweep really enumerated every operation (plus torn variants).
+    assert checked >= 2 * reference.op_count
+
+
+def test_bit_flip_in_newest_snapshot_falls_one_rung(tmp_path: Path) -> None:
+    digests = reference_digests()
+    fs = FaultFS(ROOT)
+    drive(fs, [])
+    fs.materialise(tmp_path, "cached")
+    snaps = tmp_path / "snapshots"
+    newest_seq, newest = list_snapshots(snaps)[0]
+    blob = bytearray(newest.read_bytes())
+    blob[len(blob) // 2] ^= 0x01
+    newest.write_bytes(bytes(blob))
+    journal, store = Journal.recover(
+        tmp_path / "journal.jsonl", snapshot_dir=snaps, config=CONFIG
+    )
+    journal.close()
+    assert store.seq == len(COMMANDS)
+    assert store.digest() == digests[store.seq]
+    assert journal.last_recovery is not None
+    assert journal.last_recovery.rung == "snapshot+tail"
+    assert journal.last_recovery.snapshot_seq < newest_seq
+    assert len(journal.last_recovery.snapshots_rejected) == 1
+
+
+# ----------------------------------------------------------------------
+# FaultFS model unit tests
+# ----------------------------------------------------------------------
+
+
+def test_write_is_cached_until_fsync(tmp_path: Path) -> None:
+    fs = FaultFS(ROOT)
+    handle = fs.open(ROOT / "f", "wb")
+    handle.write(b"hello")
+    fs.fsync_dir(ROOT)  # the *name* is durable...
+    fs.materialise(tmp_path / "before", "durable")
+    assert (tmp_path / "before" / "f").read_bytes() == b""  # ...content is not
+    fs.fsync(handle)
+    fs.materialise(tmp_path / "after", "durable")
+    assert (tmp_path / "after" / "f").read_bytes() == b"hello"
+
+
+def test_create_needs_fsync_dir_to_be_durably_findable(tmp_path: Path) -> None:
+    fs = FaultFS(ROOT)
+    handle = fs.open(ROOT / "f", "wb")
+    handle.write(b"data")
+    fs.fsync(handle)
+    fs.materialise(tmp_path / "no-dirsync", "durable")
+    assert not (tmp_path / "no-dirsync" / "f").exists()
+    fs.fsync_dir(ROOT)
+    fs.materialise(tmp_path / "dirsync", "durable")
+    assert (tmp_path / "dirsync" / "f").read_bytes() == b"data"
+
+
+def test_replace_is_invisible_in_durable_world_until_fsync_dir(
+    tmp_path: Path,
+) -> None:
+    fs = FaultFS(ROOT)
+    old = fs.open(ROOT / "f", "wb")
+    old.write(b"old")
+    fs.fsync(old)
+    fs.fsync_dir(ROOT)
+    new = fs.open(ROOT / "f.tmp", "wb")
+    new.write(b"new")
+    fs.fsync(new)
+    fs.replace(ROOT / "f.tmp", ROOT / "f")
+    fs.materialise(tmp_path / "before", "durable")
+    assert (tmp_path / "before" / "f").read_bytes() == b"old"
+    fs.fsync_dir(ROOT)
+    fs.materialise(tmp_path / "after", "durable")
+    assert (tmp_path / "after" / "f").read_bytes() == b"new"
+    assert not (tmp_path / "after" / "f.tmp").exists()
+
+
+def test_torn_crash_applies_a_strict_prefix(tmp_path: Path) -> None:
+    fs = FaultFS(ROOT, crash_at=2, torn=True)  # op1=create, op2=write
+    handle = fs.open(ROOT / "f", "wb")
+    with pytest.raises(SimulatedCrash):
+        handle.write(b"0123456789")
+    fs.materialise(tmp_path, "cached")
+    assert (tmp_path / "f").read_bytes() == b"01234"
+
+
+def test_crashed_filesystem_refuses_further_operations() -> None:
+    fs = FaultFS(ROOT, crash_at=1)
+    with pytest.raises(SimulatedCrash):
+        fs.open(ROOT / "f", "wb")
+    with pytest.raises(SimulatedCrash, match="already crashed"):
+        fs.open(ROOT / "g", "wb")
+
+
+def test_paths_outside_the_root_are_rejected() -> None:
+    fs = FaultFS(ROOT)
+    with pytest.raises(ValueError):
+        fs.mkdir(Path("/elsewhere"))
+    with pytest.raises(ValueError):
+        fs.open(Path("/elsewhere/f"), "wb")
+
+
+def test_exists_listdir_read_bytes() -> None:
+    fs = FaultFS(ROOT)
+    fs.mkdir(ROOT / "d")
+    handle = fs.open(ROOT / "d" / "f", "wb")
+    handle.write(b"x")
+    assert fs.exists(ROOT / "d")
+    assert fs.exists(ROOT / "d" / "f")
+    assert not fs.exists(ROOT / "d" / "g")
+    assert fs.listdir(ROOT / "d") == ["f"]
+    assert fs.read_bytes(ROOT / "d" / "f") == b"x"
+    assert dict(fs.iter_files("cached"))[str(ROOT / "d" / "f")] == b"x"

@@ -1,0 +1,115 @@
+"""CLI surfaces of the durability layer: diagnostics and ``geacc compact``.
+
+Satellite guarantees: ``geacc serve`` / ``geacc replay`` exit nonzero
+with a one-line diagnostic on a :class:`JournalError` (no traceback for
+an operational error), and ``geacc compact`` snapshots + trims a
+journal offline.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.service.journal import Journal
+from repro.service.snapshot import list_snapshots
+from repro.service.store import ArrangementStore, StoreConfig
+
+CONFIG = StoreConfig(dimension=2, t=10.0)
+
+
+def write_journal(path: Path, users: int = 3) -> ArrangementStore:
+    journal = Journal.create(path, CONFIG)
+    store = ArrangementStore(CONFIG)
+    with journal:
+        for index in range(users):
+            store.apply(
+                journal.append(
+                    "register_user",
+                    {"capacity": 1, "attributes": [float(index), 1.0]},
+                )
+            )
+    return store
+
+
+def corrupt_journal(path: Path) -> None:
+    path.write_text(json.dumps({"format": "not-a-journal"}) + "\n")
+
+
+def test_serve_exits_2_with_one_line_diagnostic(tmp_path: Path, capsys) -> None:
+    journal = tmp_path / "j.jsonl"
+    corrupt_journal(journal)
+    code = main(["serve", "--journal", str(journal), "--port", "0"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("geacc serve: cannot recover:")
+    assert len(captured.err.strip().splitlines()) == 1
+    assert "Traceback" not in captured.err
+    assert "listening" not in captured.out  # it never bound a socket
+
+
+def test_replay_exits_2_with_one_line_diagnostic(tmp_path: Path, capsys) -> None:
+    journal = tmp_path / "replay.jsonl"
+    journal.write_bytes(b"occupied")  # journal creation will refuse this
+    code = main(
+        [
+            "replay",
+            "--events", "4",
+            "--users", "8",
+            "--seed", "0",
+            "--horizon", "50",
+            "--journal", str(journal),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("geacc replay: journal error:")
+    assert len(captured.err.strip().splitlines()) == 1
+    assert "Traceback" not in captured.err
+
+
+def test_compact_trims_and_reports(tmp_path: Path, capsys) -> None:
+    journal = tmp_path / "j.jsonl"
+    live = write_journal(journal, users=5)
+    bytes_before = len(journal.read_bytes())
+    code = main(["compact", "--journal", str(journal)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "geacc compact: snapshot seq=5" in out
+    snaps = list_snapshots(f"{journal}.snapshots")
+    assert [seq for seq, _ in snaps] == [5]
+    assert len(journal.read_bytes()) < bytes_before
+    # The compacted journal + snapshot still recover the exact state.
+    recovered_journal, store = Journal.recover(
+        journal, snapshot_dir=f"{journal}.snapshots"
+    )
+    recovered_journal.close()
+    assert store == live
+
+
+def test_compact_twice_honours_retention(tmp_path: Path, capsys) -> None:
+    journal = tmp_path / "j.jsonl"
+    write_journal(journal, users=2)
+    assert main(["compact", "--journal", str(journal)]) == 0
+    # Grow the journal so the second snapshot lands on a later seq.
+    recovered, store = Journal.recover(
+        journal, snapshot_dir=f"{journal}.snapshots"
+    )
+    with recovered:
+        store.apply(
+            recovered.append(
+                "register_user", {"capacity": 1, "attributes": [9.0, 9.0]}
+            )
+        )
+    assert main(["compact", "--journal", str(journal), "--retain", "1"]) == 0
+    capsys.readouterr()
+    assert [seq for seq, _ in list_snapshots(f"{journal}.snapshots")] == [3]
+
+
+def test_compact_exits_2_on_journal_error(tmp_path: Path, capsys) -> None:
+    journal = tmp_path / "j.jsonl"
+    corrupt_journal(journal)
+    code = main(["compact", "--journal", str(journal)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("geacc compact: cannot recover:")
+    assert "Traceback" not in captured.err

@@ -9,8 +9,12 @@ runs it too, not just CI.
 
 from pathlib import Path
 
-from repro.service.smoke import run_smoke
+from repro.service.smoke import run_compaction_smoke, run_smoke
 
 
 def test_kill9_recovery_preserves_state(tmp_path: Path) -> None:
     run_smoke(workdir=tmp_path)
+
+
+def test_kill9_mid_compaction_recovers_from_snapshot(tmp_path: Path) -> None:
+    run_compaction_smoke(workdir=tmp_path)

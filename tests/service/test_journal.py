@@ -134,6 +134,59 @@ def test_recover_truncates_and_continues_numbering(tmp_path: Path) -> None:
     assert recovered == store
 
 
+def test_recover_zero_length_journal_returns_empty_store(tmp_path: Path) -> None:
+    # Crash window of journal creation: the file exists but not one byte
+    # of the header became durable. With a config, recovery starts clean.
+    path = tmp_path / "j.jsonl"
+    path.write_bytes(b"")
+    journal, store = Journal.recover(path, config=CONFIG)
+    with journal:
+        assert store.seq == 0
+        assert store.n_events == store.n_users == 0
+        assert journal.last_recovery is not None
+        assert journal.last_recovery.rung == "recreate"
+        # The file was rewritten with a durable header; appends work.
+        record = journal.append("register_user",
+                                {"capacity": 1, "attributes": [1.0, 1.0]})
+        assert record["seq"] == 1
+        store.apply(record)
+    recovered, _ = replay(path)
+    assert recovered == store
+
+
+def test_recover_header_only_journal_returns_empty_store(tmp_path: Path) -> None:
+    path = tmp_path / "j.jsonl"
+    Journal.create(path, CONFIG).close()
+    journal, store = Journal.recover(path)
+    with journal:
+        assert store.seq == 0
+        assert store == ArrangementStore(CONFIG)
+        assert journal.last_recovery is not None
+        assert journal.last_recovery.rung == "full-replay"
+        assert journal.append("freeze_event", {"event": 0})["seq"] == 1
+
+
+def test_recover_partial_header_line_is_recreate_not_corruption(
+    tmp_path: Path,
+) -> None:
+    # A torn *header* write (no trailing newline) is the same crash
+    # window as a zero-length file: nothing durable yet.
+    path = tmp_path / "j.jsonl"
+    path.write_bytes(b'{"format": "geacc-serv')
+    journal, store = Journal.recover(path, config=CONFIG)
+    journal.close()
+    assert store.seq == 0
+    assert journal.last_recovery is not None
+    assert journal.last_recovery.rung == "recreate"
+
+
+def test_recover_headerless_journal_without_config_raises(tmp_path: Path) -> None:
+    path = tmp_path / "j.jsonl"
+    path.write_bytes(b"")
+    with pytest.raises(JournalError, match="no durable journal header"):
+        Journal.recover(path)
+
+
 def test_iter_records_reports_durable_offsets(tmp_path: Path) -> None:
     path = tmp_path / "j.jsonl"
     write_sample(path)
