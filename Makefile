@@ -36,13 +36,23 @@ typecheck:
 
 check: lint typecheck test
 
-# Regenerate the tracked solver baseline (commit the result).
+# Regenerate the tracked solver baseline, both tiers (commit the result).
+# Each invocation rewrites only its own tier in the JSON and preserves
+# the other, so either line can also be rerun alone.
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --output BENCH_solvers.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --scale xl \
+		--output BENCH_solvers.json
 
 # Quick run compared against the committed baseline (the CI gate).
 bench-check:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --quick \
+		--output BENCH_solvers.current.json --compare BENCH_solvers.json
+
+# xl stress-tier smoke against the committed baseline (minutes, not
+# seconds -- CI runs it behind a step time cap).
+bench-check-xl:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --scale xl --quick \
 		--output BENCH_solvers.current.json --compare BENCH_solvers.json
 
 # pytest-benchmark micro-benchmarks (figure-level timings).

@@ -19,6 +19,7 @@ from repro.analysis.rules.parallelism import ParallelismRule
 from repro.analysis.rules.solver_registry import SolverRegistryRule
 from repro.analysis.rules.suppression import SuppressionHygieneRule
 from repro.analysis.rules.timeapi import TimeApiRule
+from repro.analysis.rules.vectorloops import VectorLoopRule
 
 __all__ = [
     "DeterminismRule",
@@ -35,4 +36,5 @@ __all__ = [
     "FsyncBeforeAckRule",
     "SuppressionHygieneRule",
     "AtomicIoRule",
+    "VectorLoopRule",
 ]

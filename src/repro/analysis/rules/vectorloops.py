@@ -1,0 +1,135 @@
+"""R15 -- no per-element numpy loops on array-kernel hot paths.
+
+The solver substrates (``core/similarity.py``, ``flow/``, and the
+``algorithms/`` package) are built on numpy block kernels: similarity
+tiles, residual-array relaxations, chunked top-k candidate generation.
+A Python ``for`` loop that walks ``range(len(arr))`` or
+``range(arr.shape[0])`` and indexes arrays one element at a time undoes
+that design -- every iteration pays interpreter dispatch plus a scalar
+``ndarray.__getitem__``, which is exactly the per-pair cost profile this
+substrate exists to eliminate (a 40x250 instance regressed ~20x through
+such loops before the kernels landed).
+
+Flagged: ``for i in range(len(X))`` / ``for i in range(X.shape[k])``
+(any ``range`` arity) whose body subscripts *something* with the loop
+variable. Loops that only use the counter arithmetically, and loops over
+plain integer locals (``range(n)``), stay silent -- the rule targets the
+unambiguous walk-an-array-by-index shape, not every counted loop.
+
+Exempt by name: ``flow/reference.py``, the deliberately scalar reference
+implementation the kernel-equivalence suite diffs the kernels against.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutils import terminal_name
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import ParsedModule
+from repro.analysis.registry import Rule, register_rule
+
+#: Modules that are scalar on purpose (reference implementations).
+_EXEMPT_SUFFIXES = ("flow/reference.py",)
+
+
+def _in_scope(module: ParsedModule) -> bool:
+    if any(module.relpath.endswith(suffix) for suffix in _EXEMPT_SUFFIXES):
+        return False
+    parents = set(module.relparts[:-1])
+    if {"flow", "algorithms"} & parents:
+        return True
+    return module.relpath.endswith("core/similarity.py") or (
+        module.relparts == ("similarity.py",)
+    )
+
+
+def _is_array_length(node: ast.expr) -> bool:
+    """True for ``len(X)`` and ``X.shape[k]`` expressions."""
+    if (
+        isinstance(node, ast.Call)
+        and terminal_name(node.func) == "len"
+        and len(node.args) == 1
+    ):
+        return True
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr == "shape"
+    )
+
+
+def _is_array_range(node: ast.expr) -> bool:
+    """True for ``range(...)`` calls bounded by an array length."""
+    return (
+        isinstance(node, ast.Call)
+        and terminal_name(node.func) == "range"
+        and any(_is_array_length(arg) for arg in node.args)
+    )
+
+
+def _names_in(node: ast.expr) -> set[str]:
+    return {
+        inner.id for inner in ast.walk(node) if isinstance(inner, ast.Name)
+    }
+
+
+def _loop_targets(target: ast.expr) -> set[str]:
+    return {
+        inner.id
+        for inner in ast.walk(target)
+        if isinstance(inner, ast.Name) and isinstance(inner.ctx, ast.Store)
+    }
+
+
+def _scalar_index_sites(body: list[ast.stmt], loop_vars: set[str]) -> Iterator[ast.Subscript]:
+    """Subscripts inside ``body`` whose index uses a loop variable."""
+    for statement in body:
+        for inner in ast.walk(statement):
+            if isinstance(inner, ast.Subscript) and _names_in(inner.slice) & loop_vars:
+                yield inner
+
+
+@register_rule
+class VectorLoopRule(Rule):
+    """Flag per-element array walks in the kernel-backed subsystems."""
+
+    rule_id = "R15"
+    title = (
+        "no per-element numpy loops (for over len/shape with scalar "
+        "indexing) in core/similarity.py, flow/, and algorithms/"
+    )
+    rationale = (
+        "the solver substrates are numpy block kernels; an element-at-a-time "
+        "Python loop over an array reintroduces the per-pair interpreter cost "
+        "the kernels were built to remove -- use tiles, segment reductions, "
+        "or chunked top-k instead (flow/reference.py, the scalar reference, "
+        "is exempt by design)"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Diagnostic]:
+        if not _in_scope(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if not _is_array_range(node.iter):
+                continue
+            loop_vars = _loop_targets(node.target)
+            if not loop_vars:
+                continue
+            for site in _scalar_index_sites(node.body, loop_vars):
+                yield Diagnostic(
+                    path=module.display_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    message=(
+                        "per-element numpy loop: range over an array length "
+                        "with scalar indexing at line "
+                        f"{site.lineno}; replace with a vectorised kernel "
+                        "(tile, segment reduction, chunked top-k)"
+                    ),
+                )
+                break  # one finding per loop is enough

@@ -269,6 +269,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         compare_reports,
         load_report,
         run_bench,
+        speedup_summary,
         write_report,
     )
 
@@ -284,6 +285,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"bench report written to {args.output}")
     if args.compare:
         baseline = load_report(args.compare)
+        for line in speedup_summary(report, baseline):
+            print(f"speedup: {line}")
         regressions = compare_reports(
             report, baseline, max_regression=args.max_regression
         )
@@ -616,7 +619,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="solvers to benchmark (default: the Fig. 3/4 algorithm set)",
     )
     bench.add_argument(
-        "--scale", choices=sorted(SCALES), default=None, help="parameter scale"
+        "--scale",
+        choices=sorted((*SCALES, "xl")),
+        default=None,
+        help="bench tier: a parameter scale, or 'xl' for the kernel "
+        "stress tier (matrix-free 1000x100000 streaming plus a "
+        "200x10000 dense-flow workload)",
     )
     bench.add_argument(
         "--compare",

@@ -104,7 +104,7 @@ class GreedyGEACC(Solver):
         self._index_kind = index_kind
 
     def solve(self, instance: Instance, budget: "Budget | None" = None) -> Arrangement:
-        orders = neighbor_orders_for(instance, self._index_kind)
+        orders = neighbor_orders_for(instance, self._index_kind, budget=budget)
         return self._run(instance, orders, budget)
 
     def solve_with_orders(
@@ -134,37 +134,41 @@ class GreedyGEACC(Solver):
         ]
         user_cursors = [_Cursor(orders.user_stream(u)) for u in range(instance.n_users)]
 
-        # Initialisation (Algorithm 2, lines 1-9): each side's first NN.
-        for v in range(instance.n_events):
-            if instance.event_capacities[v] > 0:
-                self._refill_event(v, arrangement, heap, visited, event_cursors)
-        for u in range(instance.n_users):
-            if instance.user_capacities[u] > 0:
-                self._refill_user(u, arrangement, heap, visited, user_cursors)
+        # Candidate generation itself may hold a zero-weight handle on the
+        # budget (chunked matrix streams probe the deadline per chunk), so
+        # every refill below can raise; any whole arrangement state is
+        # feasible, making "return what we have" correct everywhere.
+        try:
+            # Initialisation (Algorithm 2, lines 1-9): each side's first NN.
+            for v in range(instance.n_events):
+                if instance.event_capacities[v] > 0:
+                    self._refill_event(v, arrangement, heap, visited, event_cursors)
+            for u in range(instance.n_users):
+                if instance.user_capacities[u] > 0:
+                    self._refill_user(u, arrangement, heap, visited, user_cursors)
 
-        # Iteration (lines 11-23). Saturated nodes' cursors are closed
-        # eagerly so their stream state (index scans, sorted columns) is
-        # released -- at scalability sizes that is most of the footprint.
-        # One checkpoint per pop; every intermediate arrangement is
-        # feasible, so on exhaustion the current matching is the answer.
-        while heap:
-            if budget is not None:
-                try:
+            # Iteration (lines 11-23). Saturated nodes' cursors are closed
+            # eagerly so their stream state (index scans, sorted columns) is
+            # released -- at scalability sizes that is most of the footprint.
+            # One checkpoint per pop; every intermediate arrangement is
+            # feasible, so on exhaustion the current matching is the answer.
+            while heap:
+                if budget is not None:
                     budget.checkpoint()
-                except BudgetExceededError:
-                    return arrangement
-            v, u, sim = heap.pop()
-            visited.add((v, u))
-            if sim > 0 and arrangement.can_add(v, u):
-                arrangement.add(v, u)
-            if arrangement.event_remaining(v) > 0:
-                self._refill_event(v, arrangement, heap, visited, event_cursors)
-            else:
-                event_cursors[v].finish()
-            if arrangement.user_remaining(u) > 0:
-                self._refill_user(u, arrangement, heap, visited, user_cursors)
-            else:
-                user_cursors[u].finish()
+                v, u, sim = heap.pop()
+                visited.add((v, u))
+                if sim > 0 and arrangement.can_add(v, u):
+                    arrangement.add(v, u)
+                if arrangement.event_remaining(v) > 0:
+                    self._refill_event(v, arrangement, heap, visited, event_cursors)
+                else:
+                    event_cursors[v].finish()
+                if arrangement.user_remaining(u) > 0:
+                    self._refill_user(u, arrangement, heap, visited, user_cursors)
+                else:
+                    user_cursors[u].finish()
+        except BudgetExceededError:
+            return arrangement
         return arrangement
 
     def _refill_event(

@@ -11,10 +11,15 @@ notes other similarity functions are applicable; we also ship cosine and
 
 All functions here are vectorised: given event attributes ``(|V|, d)`` and
 user attributes ``(|U|, d)`` they return the full ``(|V|, |U|)`` matrix.
+:func:`similarity_tiles` computes one rectangular block of that matrix
+bit-identically (the tile kernel every array-backed solver substrate pulls
+cache-friendly blocks through), and :class:`SimilarityRowCache` memoises
+per-event rows over an append-only user set for the service path.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Callable
 
 import numpy as np
@@ -26,11 +31,18 @@ def _pairwise_euclidean(event_attrs: np.ndarray, user_attrs: np.ndarray) -> np.n
     """Pairwise Euclidean distances, shape ``(|V|, |U|)``.
 
     Uses the expanded form ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b so the
-    whole matrix is three BLAS calls instead of a Python loop.
+    whole matrix is three vectorised contractions instead of a Python
+    loop. The cross term deliberately uses ``einsum`` rather than ``@``:
+    BLAS matmul picks its accumulation order per matrix *shape*, which
+    breaks the tiling contract (a tile must equal the same block of the
+    full matrix bit-for-bit), while einsum's fixed contraction order is
+    shape-independent.
     """
     ev_sq = np.einsum("ij,ij->i", event_attrs, event_attrs)
     us_sq = np.einsum("ij,ij->i", user_attrs, user_attrs)
-    sq = ev_sq[:, None] + us_sq[None, :] - 2.0 * (event_attrs @ user_attrs.T)
+    sq = ev_sq[:, None] + us_sq[None, :] - 2.0 * np.einsum(
+        "id,jd->ij", event_attrs, user_attrs
+    )
     np.maximum(sq, 0.0, out=sq)
     return np.sqrt(sq)
 
@@ -65,7 +77,9 @@ def cosine_similarity(event_attrs: np.ndarray, user_attrs: np.ndarray) -> np.nda
     ev_norm = np.linalg.norm(event_attrs, axis=1)
     us_norm = np.linalg.norm(user_attrs, axis=1)
     denom = ev_norm[:, None] * us_norm[None, :]
-    dots = event_attrs @ user_attrs.T
+    # einsum, not @: shape-independent accumulation keeps tiles
+    # bit-identical to full-matrix blocks (see _pairwise_euclidean).
+    dots = np.einsum("id,jd->ij", event_attrs, user_attrs)
     with np.errstate(divide="ignore", invalid="ignore"):
         sims = np.where(denom > 0, dots / np.where(denom > 0, denom, 1.0), 0.0)
     return np.clip(sims, 0.0, 1.0)
@@ -100,3 +114,153 @@ def similarity_matrix(
     if metric == "dot":
         return scaled_dot_similarity(event_attrs, user_attrs)
     raise ValueError(f"unknown similarity metric {metric!r}")
+
+
+#: Metrics whose entries depend only on the one (event, user) pair, so a
+#: tile equals the same block of the full matrix bit-for-bit. ``dot``
+#: normalises by the *global* matrix peak and is excluded.
+TILEABLE_METRICS = frozenset({"euclidean", "cosine"})
+
+
+def similarity_tiles(
+    event_attrs: np.ndarray,
+    user_attrs: np.ndarray,
+    t: float,
+    events_slice: slice | np.ndarray,
+    users_slice: slice | np.ndarray,
+    metric: str = "euclidean",
+) -> np.ndarray:
+    """One rectangular block of the similarity matrix.
+
+    Returns ``similarity_matrix(event_attrs, user_attrs, ...)`` restricted
+    to ``[events_slice, users_slice]`` without materialising the rest.
+    Because the supported metrics are per-pair local, the block is
+    bit-identical to slicing the full matrix -- the property the kernel
+    equivalence suite pins down.
+
+    Args:
+        events_slice: A slice or integer index array over events.
+        users_slice: A slice or integer index array over users.
+        metric: One of :data:`TILEABLE_METRICS` (``dot`` rescales by the
+            global peak and cannot be tiled).
+    """
+    if metric not in TILEABLE_METRICS:
+        raise ValueError(
+            f"metric {metric!r} is not tileable (entries depend on the "
+            f"whole matrix); tileable metrics: {sorted(TILEABLE_METRICS)}"
+        )
+    event_attrs = np.asarray(event_attrs, dtype=np.float64)
+    user_attrs = np.asarray(user_attrs, dtype=np.float64)
+    return similarity_matrix(
+        event_attrs[events_slice], user_attrs[users_slice], t, metric
+    )
+
+
+class SimilarityRowCache:
+    """Memoised per-event similarity rows over an append-only user set.
+
+    The serving path recomputes one event's row against every registered
+    user on each solve batch; users are only ever *appended*, so a cached
+    row stays valid as a prefix and only the new suffix needs computing.
+    This cache keeps up to ``max_rows`` event rows (LRU) and extends them
+    incrementally with :func:`similarity_tiles` suffix calls.
+
+    The caller owns the attribute arrays and must pass the event's
+    attributes consistently (event attributes are immutable in the store);
+    rows are keyed by event index. :meth:`invalidate` drops state when an
+    event is replaced wholesale.
+    """
+
+    def __init__(self, t: float, metric: str = "euclidean", max_rows: int = 256) -> None:
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be positive, got {max_rows}")
+        if metric not in TILEABLE_METRICS:
+            raise ValueError(
+                f"row caching requires a tileable metric, got {metric!r}"
+            )
+        self.t = t
+        self.metric = metric
+        self.max_rows = max_rows
+        self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def row(
+        self,
+        event: int,
+        event_attrs: np.ndarray,
+        user_attrs: np.ndarray,
+    ) -> np.ndarray:
+        """The event's similarity row against ``user_attrs`` (read-only).
+
+        Args:
+            event: Cache key (the event's index in the store).
+            event_attrs: ``(1, d)`` or ``(d,)`` attributes of that event.
+            user_attrs: ``(|U|, d)`` attributes of *all* current users;
+                ``|U|`` may only grow between calls for the same key.
+        """
+        user_attrs = np.asarray(user_attrs, dtype=np.float64)
+        n_users = user_attrs.shape[0]
+        event_attrs = np.asarray(event_attrs, dtype=np.float64).reshape(1, -1)
+        cached = self._rows.get(event)
+        if cached is not None and cached.shape[0] == n_users:
+            self._rows.move_to_end(event)
+            self.hits += 1
+            return cached
+        if cached is not None and cached.shape[0] < n_users:
+            # Append-only user set: compute just the new suffix.
+            suffix = similarity_tiles(
+                event_attrs,
+                user_attrs,
+                self.t,
+                slice(None),
+                slice(cached.shape[0], n_users),
+                self.metric,
+            )[0]
+            row = np.concatenate([cached, suffix])
+        else:
+            # Miss, or the user set shrank (not append-only): recompute.
+            self.misses += 1
+            row = similarity_matrix(event_attrs, user_attrs, self.t, self.metric)[0]
+        row.flags.writeable = False
+        self._rows[event] = row
+        self._rows.move_to_end(event)
+        while len(self._rows) > self.max_rows:
+            self._rows.popitem(last=False)
+        return row
+
+    def invalidate(self, event: int | None = None) -> None:
+        """Forget one event's row, or everything when ``event`` is None."""
+        if event is None:
+            self._rows.clear()
+        else:
+            self._rows.pop(event, None)
+
+
+def top_k_descending(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest values, ordered by (value desc, index asc).
+
+    Exactly the first ``k`` entries of ``np.argsort(-values,
+    kind="stable")`` -- including under ties -- but computed with an O(n)
+    ``argpartition`` plus an O(k log k) sort, so consumers that only ever
+    look at a prefix (Greedy-GEACC's candidate cursors) never pay for the
+    full sort. Ties *at the selection boundary* are repaired explicitly:
+    a plain argpartition may keep an arbitrary subset of boundary-tied
+    entries, which would break digest-identity with the scalar path.
+    """
+    n = values.shape[0]
+    if k >= n:
+        return np.argsort(-values, kind="stable")
+    if k <= 0:
+        return np.empty(0, dtype=np.intp)
+    part = np.argpartition(-values, k - 1)[:k]
+    boundary = values[part].min()
+    strict = part[values[part] > boundary]
+    # Fill remaining slots with the *lowest-index* boundary-tied entries.
+    tied = np.flatnonzero(values == boundary)
+    take = k - strict.shape[0]
+    chosen = np.concatenate([strict, tied[:take]])
+    # Order by (value desc, original index asc); a stable sort over the
+    # argpartition output would tie-break by partition order instead.
+    order = np.lexsort((chosen, -values[chosen]))
+    return chosen[order]

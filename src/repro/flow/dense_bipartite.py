@@ -3,13 +3,29 @@
 Algorithm 1's flow network has a fixed tripartite shape: a source feeding
 every event (capacity ``c_v``), a *complete* bipartite middle layer of
 unit-capacity event-to-user arcs (cost ``1 - sim``), and every user
-feeding the sink (capacity ``c_u``). Because the middle layer is dense,
-the generic heap-based SSPA (:mod:`repro.flow.sspa`) spends all its time
-in Python-level arc relaxation. This module implements the same
-successive-shortest-paths algorithm with Johnson potentials, but with the
-O(n^2) "dense Dijkstra" (no heap, vectorised relaxation rows/columns) used
-by dense Hungarian-algorithm implementations. Each augmentation costs
-O((|V| + |U|) * max(|V|, |U|)) numpy work.
+feeding the sink (capacity ``c_u``). This module implements successive
+shortest paths with Johnson potentials as a **block kernel**: each search
+starts from one masked column reduction over the cost tile (the reduced
+length of every direct ``s -> v -> u`` path at once) and then runs
+vectorised Bellman-Ford sweeps over the *residual* (matched) arcs only --
+there are at most Delta of those, so a sweep is a handful of small array
+ops instead of a Python loop over every node. Early augmentations, whose
+shortest path is a direct one, converge with zero sweeps.
+
+The kernel's arithmetic is part of its contract, because arrangements
+built on it must be digest-reproducible:
+
+* direct labels: ``dist_u = min_v costs_masked[v, u] - pot_u[u]`` where
+  ``costs_masked`` carries ``inf`` on saturated arcs and closed events;
+* residual arcs: ``cres = (-costs[v, u] + pot_u[u]) - pot_v[v]``;
+* sweep row relaxation: ``((costs[v, u] + pot_v[v]) - pot_u[u]) + dist_v``;
+* sweeps are two-phase (all event labels from the pre-sweep user labels,
+  then all user labels from the changed event rows), improvements are
+  strict, and every argmin tie resolves to the lowest index.
+
+``repro.flow.reference.ReferenceBipartiteMinCostFlow`` implements the
+same specification with scalar loops; the kernel-equivalence property
+suite asserts bit-identical flows, ties included.
 
 Every middle arc has capacity 1, so each augmenting path carries exactly
 one unit: the Delta-sweep of Algorithm 1 falls out one augmentation at a
@@ -23,6 +39,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import FlowError
+
+#: parent_u markers: the label came from a direct source path, or was
+#: improved by a residual sweep (feeding event recovered by equality).
+_SOURCE_FED = -1
+_SWEEP_FED = -3
 
 
 class DenseBipartiteMinCostFlow:
@@ -44,7 +65,7 @@ class DenseBipartiteMinCostFlow:
         event_capacities: np.ndarray,
         user_capacities: np.ndarray,
     ) -> None:
-        costs = np.asarray(costs, dtype=np.float64)
+        costs = np.ascontiguousarray(costs, dtype=np.float64)
         if costs.ndim != 2:
             raise FlowError(f"costs must be 2-D, got shape {costs.shape}")
         if np.any(costs < 0):
@@ -62,11 +83,25 @@ class DenseBipartiteMinCostFlow:
         self.user_used = np.zeros(self.n_users, dtype=np.int64)
         self.total_flow = 0
         self.total_cost = 0.0
-        # Node layout: [0, nv) events, [nv, nv + nu) users, nv + nu = sink.
-        self._n_nodes = self.n_events + self.n_users + 1
-        self._t = self._n_nodes - 1
-        self._potentials = np.zeros(self._n_nodes, dtype=np.float64)
+        self._pot_v = np.zeros(self.n_events, dtype=np.float64)
+        self._pot_u = np.zeros(self.n_users, dtype=np.float64)
+        self._pot_t = 0.0
+        # Source-relax view of the cost tile: +inf where the forward arc
+        # has no residual capacity (saturated pair or closed event).
+        # Maintained incrementally -- saturation flips are O(path) scalar
+        # writes, an event closing is one row fill, and both transitions
+        # are monotone within a search.
+        self._costs_masked = self.costs.copy()
+        for v in np.flatnonzero(self.event_capacities == 0):
+            self._costs_masked[v, :] = np.inf
+        # Users with no sink capacity left; kept current by _commit.
+        self._closed_u = self.user_capacities <= 0
         self._exhausted = False
+        self._cached_search: _Search | None = None
+        # Search scratch (safe to reuse: a search's buffers are consumed
+        # by the following _commit before the next search runs).
+        self._parent_u_buf = np.empty(self.n_users, dtype=np.int64)
+        self._tvals_buf = np.empty(self.n_users, dtype=np.float64)
 
     @property
     def exhausted(self) -> bool:
@@ -82,18 +117,11 @@ class DenseBipartiteMinCostFlow:
         """
         if self._exhausted:
             return None
-        found = self._dense_dijkstra()
+        found = self._take_search()
         if found is None:
-            self._exhausted = True
             return None
-        dist, parent = found
-        path_cost = dist[self._t] + self._potentials[self._t]
-        np.minimum(dist, dist[self._t], out=dist)
-        self._potentials += dist
-        self._apply_path(parent)
-        self.total_flow += 1
-        self.total_cost += path_cost
-        return path_cost
+        self._commit(found)
+        return found.path_cost
 
     def run(self, amount: int | None = None, stop_cost: float | None = None) -> int:
         """Augment until ``amount`` units routed, exhaustion, or stop_cost.
@@ -109,103 +137,249 @@ class DenseBipartiteMinCostFlow:
         while amount is None or routed < amount:
             if self._exhausted:
                 break
-            if stop_cost is not None:
-                peek = self._dense_dijkstra()
-                if peek is None:
-                    self._exhausted = True
-                    break
-                dist, parent = peek
-                path_cost = dist[self._t] + self._potentials[self._t]
-                if path_cost >= stop_cost:
-                    break
-                np.minimum(dist, dist[self._t], out=dist)
-                self._potentials += dist
-                self._apply_path(parent)
-                self.total_flow += 1
-                self.total_cost += path_cost
-                routed += 1
-            else:
-                if self.augment() is None:
-                    break
-                routed += 1
+            found = self._take_search()
+            if found is None:
+                break
+            if stop_cost is not None and found.path_cost >= stop_cost:
+                # Costs only go up from here; keep the search so a later
+                # call with a looser stop does not redo it.
+                self._cached_search = found
+                break
+            self._commit(found)
+            routed += 1
         return routed
+
+    def _take_search(self) -> "_Search | None":
+        """Pop the cached search or run a fresh one; flags exhaustion."""
+        found = self._cached_search
+        self._cached_search = None
+        if found is None:
+            found = self._shortest_path()
+        if found is None:
+            self._exhausted = True
+        return found
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _dense_dijkstra(self) -> tuple[np.ndarray, np.ndarray] | None:
-        """O(n^2) Dijkstra on reduced costs from source to sink.
+    def _shortest_path(self) -> "_Search | None":
+        """One shortest-path search in reduced costs.
 
-        Returns ``(dist, parent)`` with dist in reduced costs (source
-        excluded from the arrays; its distance is 0), or None when the
-        sink is unreachable.
+        Phase 1 labels every user with its cheapest *direct* path in one
+        masked column reduction. Phase 2 runs two-phase Bellman-Ford
+        sweeps over the matched (residual) arcs until fixpoint -- each
+        sweep is O(|M|) gathers plus one (changed rows x |U|) tile relax.
+        Returns None when the sink is unreachable.
         """
-        nv, nu, t = self.n_events, self.n_users, self._t
-        pot = self._potentials
-        dist = np.full(self._n_nodes, np.inf)
-        parent = np.full(self._n_nodes, -1, dtype=np.int64)
-        settled = np.zeros(self._n_nodes, dtype=bool)
-        dist_v = dist[:nv]
-        dist_u = dist[nv : nv + nu]
+        nv, nu = self.n_events, self.n_users
+        if nv == 0 or nu == 0:
+            return None
+        costs, pot_v, pot_u = self.costs, self._pot_v, self._pot_u
 
-        # Relax source arcs: s -> v where capacity remains (cost 0).
-        open_events = self.event_used < self.event_capacities
-        dist_v[open_events] = -pot[:nv][open_events]
-        parent[:nv][open_events] = -2  # predecessor = source
+        # Phase 1: direct labels. costs_masked already carries inf on
+        # saturated arcs and closed events, so one reduction does the
+        # whole source layer.
+        dist_u = self._costs_masked.min(axis=0)
+        dist_u -= pot_u
+        parent_u = self._parent_u_buf
+        parent_u.fill(_SOURCE_FED)
+        dist_v = np.where(
+            self.event_used < self.event_capacities, -pot_v, np.inf
+        )
 
-        pot_v = pot[:nv]
-        pot_u = pot[nv : nv + nu]
-        user_open = self.user_used < self.user_capacities
+        # Direct sink distance (sink relaxation over open users).
+        tvals = self._tvals_buf
+        np.add(dist_u, pot_u, out=tvals)
+        tvals -= self._pot_t
+        tvals[self._closed_u] = np.inf
+        parent_t = int(tvals.argmin())
+        t_direct = float(tvals[parent_t])
+
+        # Phase 2: residual sweeps. Matched arcs in row-major (v, u)
+        # order; both phases of a sweep read the labels produced by the
+        # previous phase, improvements are strict, ties keep the earliest
+        # (lowest-index) writer.
+        mv, mu = self.flow.nonzero()
+        if mv.shape[0]:
+            cres = (-costs[mv, mu] + pot_u[mu]) - pot_v[mv]
+            # Generation 1 considers every matched arc at once (every
+            # user label was just set): segmented min per event over the
+            # row-major arc list (mv is sorted).
+            head = np.empty(mv.shape[0], dtype=bool)
+            head[0] = True
+            np.not_equal(mv[1:], mv[:-1], out=head[1:])
+            starts = head.nonzero()[0]
+            seg_v = mv[starts]
+            cand = dist_u[mu] + cres
+            seg_min = np.minimum.reduceat(cand, starts)
+            changed = seg_min < dist_v[seg_v]
+            vc = seg_v[changed]
+            # Dijkstra cut: every label on a residual path is at least
+            # its first improved event label (reduced costs >= 0), so if
+            # no improved event undercuts the direct sink distance no
+            # residual path can win -- and every label below dist_t is
+            # already exact, which is all the potential clamp needs.
+            if vc.shape[0] and seg_min[changed].min() < t_direct:
+                max_gens = nu + nv + 2
+                for _ in range(max_gens):
+                    dist_v[vc] = seg_min[changed]
+                    # parent_v is recovered by equality at path-walk
+                    # time. Row relaxation keeps the canonical
+                    # association ((cost + pot_v) - pot_u) + dist_v in
+                    # both branches.
+                    if vc.shape[0] == 1:
+                        v = int(vc[0])
+                        rows = costs[v] + pot_v[v]
+                        rows -= pot_u
+                        rows += dist_v[v]
+                        rows[self.flow[v]] = np.inf  # saturated
+                        improve = rows < dist_u
+                        if not improve.any():
+                            break
+                        dist_u[improve] = rows[improve]
+                        parent_u[improve] = _SWEEP_FED
+                    else:
+                        rows = costs[vc] + pot_v[vc, None]
+                        rows -= pot_u
+                        rows += dist_v[vc, None]
+                        rows[self.flow[vc]] = np.inf  # saturated
+                        colmin = rows.min(axis=0)
+                        improve = colmin < dist_u
+                        if not improve.any():
+                            break
+                        dist_u[improve] = colmin[improve]
+                        # The feeding event is recovered by equality at
+                        # path-walk time; only mark that one exists.
+                        parent_u[improve] = _SWEEP_FED
+                    # Fixpoint check: if no improved user feeds a
+                    # residual arc, the candidate vector cannot change
+                    # -- skip the verification sweep entirely.
+                    if not improve[mu].any():
+                        break
+                    cand = dist_u[mu] + cres
+                    seg_min = np.minimum.reduceat(cand, starts)
+                    changed = seg_min < dist_v[seg_v]
+                    vc = seg_v[changed]
+                    if not vc.shape[0]:
+                        break
+                # Labels moved; rebuild the sink relaxation.
+                np.add(dist_u, pot_u, out=tvals)
+                tvals -= self._pot_t
+                tvals[self._closed_u] = np.inf
+                parent_t = int(tvals.argmin())
+
+        dist_t = float(tvals[parent_t])
+        if np.isinf(dist_t):
+            return None
+        return _Search(
+            dist_v=dist_v,
+            dist_u=dist_u,
+            dist_t=dist_t,
+            parent_u=parent_u,
+            parent_t=parent_t,
+            path_cost=dist_t + self._pot_t,
+        )
+
+    def _parent_event_of(self, u: int, search: "_Search") -> int:
+        """The event feeding ``u`` on the shortest-path tree.
+
+        Labels are recovered by equality against the exact expression
+        that produced them (lowest event index first): the masked cost
+        column for source-fed labels, the sweep row relaxation for
+        sweep-fed ones. At fixpoint the producing expression reproduces
+        the stored label bit-for-bit, because improvements are strict.
+        """
+        if search.parent_u[u] == _SOURCE_FED:
+            column = self._costs_masked[:, u] - self._pot_u[u]
+        else:
+            column = (self.costs[:, u] + self._pot_v) - self._pot_u[u]
+            column += search.dist_v
+            column[self.flow[:, u]] = np.inf  # saturated: no residual
+        hits = column == search.dist_u[u]  # geacc-lint: disable=R2 reason=labels are recovered by exact equality against their producing expression
+        first = int(hits.argmax())  # first True, or 0 when none
+        if hits[first]:
+            return first
+        # Float-noise guard (a 1-ulp drift between fold orders cannot
+        # happen at the fixpoint, but never walk off the tree).
+        return int(column.argmin())
+
+    def _parent_user_of(self, v: int, search: "_Search") -> int:
+        """The matched user feeding ``v`` through its residual arc."""
+        costs, pot_u, pot_v = self.costs, self._pot_u, self._pot_v
+        target = search.dist_v[v]
+        best = -1
+        best_cand = np.inf
+        for u in np.flatnonzero(self.flow[v]):
+            cand = search.dist_u[u] + ((-costs[v, u] + pot_u[u]) - pot_v[v])
+            if cand == target:
+                return int(u)
+            if cand < best_cand:
+                best_cand = cand
+                best = int(u)
+        return best  # float-noise guard; nearest candidate
+
+    def _commit(self, search: "_Search") -> None:
+        """Flip the path, update potentials, account the unit.
+
+        The path is recovered *before* anything mutates: the equality
+        walks read the search-time potentials, flow, and cost mask.
+        """
+        # Alternating path from the sink back to the source, as
+        # (add (v, u), then optionally drop (v, u_prev)) hops.
+        adds: list[tuple[int, int]] = []
+        drops: list[tuple[int, int]] = []
+        u = search.parent_t
         while True:
-            masked = np.where(settled, np.inf, dist)
-            node = int(np.argmin(masked))
-            if not np.isfinite(masked[node]):
-                return None  # sink unreachable
-            settled[node] = True
-            if node == t:
-                return dist, parent
-            d_node = dist[node]
-            if node < nv:
-                # Forward arcs v -> u on unsaturated middle arcs.
-                row_free = ~self.flow[node]
-                reduced = self.costs[node] + (pot_v[node] + d_node) - pot_u
-                candidate = np.where(row_free, reduced, np.inf)
-                improve = candidate < dist_u
-                improve &= ~settled[nv : nv + nu]
-                if improve.any():
-                    dist_u[improve] = candidate[improve]
-                    parent[nv : nv + nu][improve] = node
-            else:
-                u = node - nv
-                # Residual arcs u -> v on saturated middle arcs.
-                col_used = self.flow[:, u]
-                reduced = -self.costs[:, u] + (pot_u[u] + d_node) - pot_v
-                candidate = np.where(col_used, reduced, np.inf)
-                improve = candidate < dist_v
-                improve &= ~settled[:nv]
-                if improve.any():
-                    dist_v[improve] = candidate[improve]
-                    parent[:nv][improve] = node
-                # Arc u -> t while the user has sink capacity left.
-                if user_open[u]:
-                    cand_t = d_node + pot_u[u] - pot[t]
-                    if cand_t < dist[t]:
-                        dist[t] = cand_t
-                        parent[t] = node
+            v = self._parent_event_of(u, search)
+            adds.append((v, u))
+            if search.parent_u[u] == _SOURCE_FED:
+                break
+            u = self._parent_user_of(v, search)
+            drops.append((v, u))
+        dist_t = search.dist_t
+        # Johnson update with the standard clamp at the sink label so all
+        # residual reduced costs stay non-negative (unreached labels are
+        # inf and clamp to dist_t).
+        self._pot_v += np.minimum(search.dist_v, dist_t)
+        self._pot_u += np.minimum(search.dist_u, dist_t)
+        self._pot_t += dist_t
+        sink_u = search.parent_t
+        self.user_used[sink_u] += 1
+        if self.user_used[sink_u] >= self.user_capacities[sink_u]:
+            self._closed_u[sink_u] = True
+        for v, u in adds:
+            self.flow[v, u] = True
+            self._costs_masked[v, u] = np.inf
+        source_v = adds[-1][0]
+        self.event_used[source_v] += 1
+        if self.event_used[source_v] >= self.event_capacities[source_v]:
+            self._costs_masked[source_v, :] = np.inf
+        for v, u in drops:
+            self.flow[v, u] = False
+            if self.event_used[v] < self.event_capacities[v]:
+                self._costs_masked[v, u] = self.costs[v, u]
+        self.total_flow += 1
+        self.total_cost += search.path_cost
 
-    def _apply_path(self, parent: np.ndarray) -> None:
-        """Flip flow along the found path: t <- u <- v <- ... <- s."""
-        nv = self.n_events
-        node = int(parent[self._t])
-        self.user_used[node - nv] += 1
-        while True:
-            pred = int(parent[node])
-            if node >= nv:  # user node; predecessor is an event: v -> u
-                self.flow[pred, node - nv] = True
-            elif pred == -2:  # event node fed straight from the source
-                self.event_used[node] += 1
-                return
-            else:  # event node reached via residual u -> v
-                self.flow[node, pred - nv] = False
-            node = pred
+
+class _Search:
+    """One shortest-path search's labels and parent pointers."""
+
+    __slots__ = ("dist_v", "dist_u", "dist_t", "parent_u", "parent_t", "path_cost")
+
+    def __init__(
+        self,
+        dist_v: np.ndarray,
+        dist_u: np.ndarray,
+        dist_t: float,
+        parent_u: np.ndarray,
+        parent_t: int,
+        path_cost: float,
+    ) -> None:
+        self.dist_v = dist_v
+        self.dist_u = dist_u
+        self.dist_t = dist_t
+        self.parent_u = parent_u
+        self.parent_t = parent_t
+        self.path_cost = path_cost

@@ -12,7 +12,87 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.exceptions import FlowError
+
+
+@dataclass
+class ResidualArrays:
+    """Array view of a :class:`FlowNetwork` for vectorised relaxation.
+
+    Every per-arc attribute is a numpy array indexed by arc id, in the
+    same order as ``network.arcs`` (so residual twins still live at
+    ``i ^ 1``). Adjacency is CSR-style: the outgoing arc ids of ``node``
+    are ``arc_ids[indptr[node]:indptr[node + 1]]``, concatenated in the
+    same order as the scalar adjacency lists so any iteration order
+    dependence (tie-breaking on equal labels) is preserved exactly.
+
+    ``flow`` is the mutable column; :meth:`FlowNetwork.push` keeps it in
+    sync with the ``Arc`` objects while the view is current.
+    """
+
+    head: np.ndarray
+    tail: np.ndarray
+    cap: np.ndarray
+    cost: np.ndarray
+    flow: np.ndarray
+    indptr: np.ndarray
+    arc_ids: np.ndarray
+
+    @classmethod
+    def from_network(cls, network: FlowNetwork) -> ResidualArrays:
+        n_arcs = len(network.arcs)
+        head = np.fromiter(
+            (arc.head for arc in network.arcs), dtype=np.int64, count=n_arcs
+        )
+        tail = np.empty(n_arcs, dtype=np.int64)
+        # The twin of arc i points back at i's tail, so tail[i] = head[i ^ 1].
+        tail[0::2] = head[1::2]
+        tail[1::2] = head[0::2]
+        cap = np.fromiter(
+            (arc.cap for arc in network.arcs), dtype=np.int64, count=n_arcs
+        )
+        cost = np.fromiter(
+            (arc.cost for arc in network.arcs), dtype=np.float64, count=n_arcs
+        )
+        flow = np.fromiter(
+            (arc.flow for arc in network.arcs), dtype=np.int64, count=n_arcs
+        )
+        counts = np.fromiter(
+            (len(out) for out in network.adjacency),
+            dtype=np.int64,
+            count=network.n_nodes,
+        )
+        indptr = np.zeros(network.n_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        if network.adjacency:
+            arc_ids = np.concatenate(
+                [np.asarray(out, dtype=np.int64) for out in network.adjacency]
+            ) if n_arcs else np.empty(0, dtype=np.int64)
+        else:
+            arc_ids = np.empty(0, dtype=np.int64)
+        return cls(
+            head=head,
+            tail=tail,
+            cap=cap,
+            cost=cost,
+            flow=flow,
+            indptr=indptr,
+            arc_ids=arc_ids,
+        )
+
+    @property
+    def n_arcs(self) -> int:
+        return self.head.shape[0]
+
+    def residual(self) -> np.ndarray:
+        """Remaining capacity per arc id."""
+        return self.cap - self.flow
+
+    def out_arcs(self, node: int) -> np.ndarray:
+        """Outgoing arc ids of ``node`` in scalar adjacency order."""
+        return self.arc_ids[self.indptr[node] : self.indptr[node + 1]]
 
 
 @dataclass
@@ -50,6 +130,17 @@ class FlowNetwork:
     n_nodes: int = 0
     arcs: list[Arc] = field(default_factory=list)
     adjacency: list[list[int]] = field(default_factory=list)
+    _arrays: ResidualArrays | None = field(default=None, repr=False, compare=False)
+
+    def as_arrays(self) -> ResidualArrays:
+        """Array view of the network, rebuilt when the topology grew.
+
+        The returned view's ``flow`` array is kept in sync by
+        :meth:`push` / :meth:`reset_flow` until the next ``add_arc``.
+        """
+        if self._arrays is None or self._arrays.n_arcs != len(self.arcs):
+            self._arrays = ResidualArrays.from_network(self)
+        return self._arrays
 
     def add_node(self) -> int:
         """Append a node and return its index."""
@@ -92,6 +183,10 @@ class FlowNetwork:
             )
         arc.flow += amount
         self.arcs[arc_index ^ 1].flow -= amount
+        arrays = self._arrays
+        if arrays is not None and arrays.n_arcs == len(self.arcs):
+            arrays.flow[arc_index] += amount
+            arrays.flow[arc_index ^ 1] -= amount
 
     def flow_on(self, arc_index: int) -> int:
         """Net flow currently routed on a forward arc."""
@@ -109,6 +204,8 @@ class FlowNetwork:
         """Zero out all flow, keeping the topology."""
         for arc in self.arcs:
             arc.flow = 0
+        if self._arrays is not None:
+            self._arrays.flow.fill(0)
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.n_nodes:

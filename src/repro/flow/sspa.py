@@ -17,6 +17,8 @@ import heapq
 import math
 from collections.abc import Callable
 
+import numpy as np
+
 from repro.exceptions import InfeasibleFlowError, NegativeCycleError
 from repro.flow.network import FlowNetwork
 
@@ -43,10 +45,11 @@ class SuccessiveShortestPaths:
         self.total_flow = 0
         self.total_cost = 0.0
         self._exhausted = False
+        self._arrays = network.as_arrays()
         if any(arc.cost < 0 and arc.cap > 0 for arc in network.arcs):
             self._potentials = self._bellman_ford()
         else:
-            self._potentials = [0.0] * network.n_nodes
+            self._potentials = np.zeros(network.n_nodes, dtype=np.float64)
 
     @property
     def exhausted(self) -> bool:
@@ -68,7 +71,9 @@ class SuccessiveShortestPaths:
             return None
         self._cached_search = found
         dist, _ = found
-        return dist[self.sink] + self._potentials[self.sink] - self._potentials[self.source]
+        return float(
+            dist[self.sink] + self._potentials[self.sink] - self._potentials[self.source]
+        )
 
     def augment(self, max_units: int | None = None) -> tuple[int, float] | None:
         """Push flow along one cheapest augmenting path.
@@ -92,7 +97,7 @@ class SuccessiveShortestPaths:
             self._exhausted = True
             return None
         dist, parent_arc = search
-        path_cost = (
+        path_cost = float(
             dist[self.sink] + self._potentials[self.sink] - self._potentials[self.source]
         )
         self._update_potentials(dist)
@@ -137,19 +142,29 @@ class SuccessiveShortestPaths:
             self.augment(max_units=remaining)
         return self.total_flow, self.total_cost
 
-    def _dijkstra(self) -> tuple[list[float], list[int]] | None:
+    def _dijkstra(self) -> tuple[np.ndarray, np.ndarray] | None:
         """Shortest path by reduced cost from source to sink.
 
         Returns ``(dist, parent_arc)`` where dist is in reduced costs, or
         None if the sink is unreachable in the residual network.
+
+        Each settle relaxes the node's whole out-arc slice with one array
+        expression over the :class:`~repro.flow.network.ResidualArrays`
+        view. The reduced cost keeps the scalar association
+        ``(cost + pot[node]) - pot[head]`` and surviving candidates are
+        applied by a scalar pass *in adjacency order*, so labels, parents,
+        and heap push order are bitwise identical to the per-arc loop this
+        replaces.
         """
         network = self.network
+        arrays = network.as_arrays()
         potentials = self._potentials
-        dist = [_UNREACHED] * network.n_nodes
-        parent_arc = [-1] * network.n_nodes
+        dist = np.full(network.n_nodes, _UNREACHED, dtype=np.float64)
+        parent_arc = np.full(network.n_nodes, -1, dtype=np.int64)
         dist[self.source] = 0.0
         heap = [(0.0, self.source)]
-        settled = [False] * network.n_nodes
+        settled = np.zeros(network.n_nodes, dtype=bool)
+        indptr, arc_ids = arrays.indptr, arrays.arc_ids
         while heap:
             d, node = heapq.heappop(heap)
             if settled[node]:
@@ -157,33 +172,40 @@ class SuccessiveShortestPaths:
             settled[node] = True
             if node == self.sink:
                 break
-            for arc_index in network.adjacency[node]:
-                arc = network.arcs[arc_index]
-                if arc.residual <= 0:
-                    continue
-                reduced = arc.cost + potentials[node] - potentials[arc.head]
-                if reduced < -1e-9:
-                    raise NegativeCycleError(
-                        f"negative reduced cost {reduced} on arc {arc_index}; "
-                        "potentials are inconsistent"
-                    )
-                candidate = d + max(reduced, 0.0)
-                if candidate < dist[arc.head]:
-                    dist[arc.head] = candidate
-                    parent_arc[arc.head] = arc_index
-                    heapq.heappush(heap, (candidate, arc.head))
-        if dist[self.sink] is _UNREACHED or math.isinf(dist[self.sink]):
+            ids = arc_ids[indptr[node] : indptr[node + 1]]
+            if not ids.shape[0]:
+                continue
+            live = arrays.cap[ids] > arrays.flow[ids]
+            heads = arrays.head[ids]
+            reduced = (arrays.cost[ids] + potentials[node]) - potentials[heads]
+            bad = live & (reduced < -1e-9)
+            if bad.any():
+                offender = int(ids[bad.argmax()])
+                raise NegativeCycleError(
+                    f"negative reduced cost {float(reduced[bad.argmax()])} on "
+                    f"arc {offender}; potentials are inconsistent"
+                )
+            candidate = d + np.maximum(reduced, 0.0)
+            ok = live & (candidate < dist[heads])
+            for j in np.flatnonzero(ok):
+                head = int(heads[j])
+                value = float(candidate[j])
+                # Earlier arcs in this slice may have already lowered the
+                # label; re-check in order like the scalar loop did.
+                if value < dist[head]:
+                    dist[head] = value
+                    parent_arc[head] = int(ids[j])
+                    heapq.heappush(heap, (value, head))
+        if math.isinf(dist[self.sink]):
             return None
         return dist, parent_arc
 
-    def _update_potentials(self, dist: list[float]) -> None:
+    def _update_potentials(self, dist: np.ndarray) -> None:
         # Dijkstra terminates as soon as the sink settles, so labels of
         # unsettled nodes are tentative upper bounds. Clamping every label
         # at dist[sink] is the standard fix that keeps all residual reduced
         # costs non-negative after the potential update.
-        sink_dist = dist[self.sink]
-        for node in range(self.network.n_nodes):
-            self._potentials[node] += min(dist[node], sink_dist)
+        self._potentials += np.minimum(dist, dist[self.sink])
 
     def _bottleneck(self, parent_arc: list[int]) -> int:
         bottleneck = None
@@ -203,21 +225,29 @@ class SuccessiveShortestPaths:
             self.network.push(arc_index, amount)
             node = self.network.arcs[arc_index ^ 1].head
 
-    def _bellman_ford(self) -> list[float]:
+    def _bellman_ford(self) -> np.ndarray:
+        """Initial potentials by vectorised Bellman-Ford (Jacobi sweeps).
+
+        Each sweep relaxes every live arc at once against the previous
+        sweep's labels via a scatter-min; strict improvement uses the same
+        ``1e-12`` slack as the scalar loop. Jacobi needs at most one sweep
+        per shortest-path hop, so ``n_nodes`` sweeps without convergence
+        still certifies a negative cycle.
+        """
         network = self.network
-        dist = [0.0] * network.n_nodes
-        for sweep in range(network.n_nodes):
-            changed = False
-            for tail in range(network.n_nodes):
-                for arc_index in network.adjacency[tail]:
-                    arc = network.arcs[arc_index]
-                    if arc.residual <= 0:
-                        continue
-                    if dist[tail] + arc.cost < dist[arc.head] - 1e-12:
-                        dist[arc.head] = dist[tail] + arc.cost
-                        changed = True
-            if not changed:
+        arrays = network.as_arrays()
+        live = arrays.cap > arrays.flow
+        tails = arrays.tail[live]
+        heads = arrays.head[live]
+        costs = arrays.cost[live]
+        dist = np.zeros(network.n_nodes, dtype=np.float64)
+        for _ in range(network.n_nodes):
+            relaxed = dist.copy()
+            np.minimum.at(relaxed, heads, dist[tails] + costs)
+            improved = relaxed < dist - 1e-12
+            if not improved.any():
                 return dist
+            dist[improved] = relaxed[improved]
         raise NegativeCycleError("network contains a negative-cost cycle")
 
 

@@ -31,7 +31,11 @@ import numpy as np
 
 from repro.core.conflicts import ConflictGraph
 from repro.core.model import Arrangement, Instance
-from repro.core.similarity import similarity_matrix
+from repro.core.similarity import (
+    TILEABLE_METRICS,
+    SimilarityRowCache,
+    similarity_matrix,
+)
 from repro.core.validation import validate_arrangement
 from repro.exceptions import JournalError, ServiceError
 
@@ -169,6 +173,16 @@ class ArrangementStore:
         self._event_remaining: list[int] = []
         self._user_remaining: list[int] = []
         self._n_assignments = 0
+        # Packed user attributes (rows appended as users register) plus a
+        # per-event similarity-row cache over that append-only set. User
+        # and event attributes are immutable, so cached rows stay valid
+        # as prefixes and only new-user suffixes are ever recomputed.
+        self._user_attrs_buf = np.empty((0, config.dimension), dtype=np.float64)
+        self._row_cache: SimilarityRowCache | None = (
+            SimilarityRowCache(config.t, config.metric)
+            if config.metric in TILEABLE_METRICS
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Read side
@@ -237,8 +251,30 @@ class ArrangementStore:
         adjacency = self._events[event].conflicts
         return any(other in adjacency for other in others)
 
+    def _user_attrs_view(self) -> np.ndarray:
+        """Packed ``(|U|, d)`` user-attribute matrix (rows append-only)."""
+        return self._user_attrs_buf[: len(self._users)]
+
+    def _append_user_attrs(self, attributes: tuple[float, ...]) -> None:
+        buf = self._user_attrs_buf
+        n = len(self._users)  # the new user is already in self._users
+        if n > buf.shape[0]:
+            grown = np.empty(
+                (max(16, 2 * buf.shape[0], n), buf.shape[1]), dtype=np.float64
+            )
+            grown[: buf.shape[0]] = buf
+            self._user_attrs_buf = buf = grown
+        buf[n - 1] = attributes
+
     def sim(self, event: int, user: int) -> float:
-        """Eq. (1) similarity of one live pair (computed on demand)."""
+        """Eq. (1) similarity of one live pair.
+
+        Served from the memoised event row when the metric is tileable
+        (one vectorised row compute, then O(1) lookups for every later
+        probe of the same event), else computed pairwise on demand.
+        """
+        if self._row_cache is not None:
+            return float(self.sim_row(event)[user])
         row = similarity_matrix(
             np.asarray([self._events[event].attributes]),
             np.asarray([self._users[user].attributes]),
@@ -248,9 +284,20 @@ class ArrangementStore:
         return float(row[0, 0])
 
     def sim_row(self, event: int) -> np.ndarray:
-        """Similarities of one event against every registered user."""
+        """Similarities of one event against every registered user.
+
+        Memoised per event over the append-only user set: a repeat call
+        after ``k`` new registrations computes only the ``k``-column
+        suffix tile. The returned row is read-only when cached.
+        """
         if not self._users:
             return np.zeros(0)
+        if self._row_cache is not None:
+            return self._row_cache.row(
+                event,
+                np.asarray(self._events[event].attributes, dtype=np.float64),
+                self._user_attrs_view(),
+            )
         return similarity_matrix(
             np.asarray([self._events[event].attributes]),
             np.asarray([u.attributes for u in self._users]),
@@ -415,12 +462,12 @@ class ArrangementStore:
             self._events[other].conflicts.add(event)
 
     def _apply_register_user(self, record: dict) -> None:
-        self._users.append(
-            _LiveUser(
-                capacity=int(record["capacity"]),
-                attributes=tuple(float(x) for x in record["attributes"]),
-            )
+        user = _LiveUser(
+            capacity=int(record["capacity"]),
+            attributes=tuple(float(x) for x in record["attributes"]),
         )
+        self._users.append(user)
+        self._append_user_attrs(user.attributes)
         self._events_of_user.append(set())
         self._user_remaining.append(int(record["capacity"]))
 
@@ -515,7 +562,7 @@ class ArrangementStore:
             return np.zeros((len(self._events), len(self._users)))
         return similarity_matrix(
             np.asarray([e.attributes for e in self._events]),
-            np.asarray([u.attributes for u in self._users]),
+            self._user_attrs_view(),
             self.config.t,
             self.config.metric,
         )
@@ -653,12 +700,12 @@ class ArrangementStore:
                 store._users_of_event.append(set())
                 store._event_remaining.append(int(entry["capacity"]))
             for entry in state["users"]:
-                store._users.append(
-                    _LiveUser(
-                        capacity=int(entry["capacity"]),
-                        attributes=tuple(float(x) for x in entry["attributes"]),
-                    )
+                user = _LiveUser(
+                    capacity=int(entry["capacity"]),
+                    attributes=tuple(float(x) for x in entry["attributes"]),
                 )
+                store._users.append(user)
+                store._append_user_attrs(user.attributes)
                 store._events_of_user.append(set())
                 store._user_remaining.append(int(entry["capacity"]))
             for pair in state["assignments"]:

@@ -1,0 +1,9 @@
+"""R15 bad fixture (lives under algorithms/): scalar scoring loop."""
+
+
+def best_candidate(sims, visited):
+    best, best_score = -1, -1.0
+    for u in range(0, sims.shape[0], 2):  # line 6: R15 (any range arity)
+        if not visited[u] and sims[u] > best_score:
+            best, best_score = u, sims[u]
+    return best

@@ -1,0 +1,7 @@
+"""R15 bad fixture (named core/similarity.py): per-pair sim loop."""
+
+
+def pairwise(event_attrs, user_attrs, out):
+    for v in range(len(event_attrs)):  # line 5: R15
+        out[v] = ((event_attrs[v] - user_attrs) ** 2).sum()
+    return out

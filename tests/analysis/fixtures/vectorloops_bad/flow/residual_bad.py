@@ -1,0 +1,16 @@
+"""R15 bad fixture (lives under flow/): per-element array walks."""
+
+
+def total_cost(cost, flow):
+    total = 0.0
+    for i in range(len(cost)):  # line 6: R15 (len-bounded, scalar index)
+        total += cost[i] * flow[i]
+    return total
+
+
+def relax_all(dist, heads, weights):
+    for j in range(weights.shape[0]):  # line 12: R15 (shape-bounded)
+        head = heads[j]
+        if dist[head] > weights[j]:
+            dist[head] = weights[j]
+    return dist

@@ -1,0 +1,8 @@
+"""R15 exemption fixture: flow/reference.py is scalar on purpose."""
+
+
+def total_cost(cost, flow):
+    total = 0.0
+    for i in range(len(cost)):  # exempt by module name
+        total += cost[i] * flow[i]
+    return total

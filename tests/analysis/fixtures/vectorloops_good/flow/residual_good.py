@@ -1,0 +1,18 @@
+"""R15 good fixture: block kernels and counters that index nothing."""
+
+
+def total_cost(cost, flow):
+    return float((cost * flow).sum())
+
+
+def sweep(relax_once, max_sweeps):
+    for _ in range(max_sweeps):  # plain-int bound: not an array walk
+        if not relax_once():
+            break
+
+
+def count_batches(arcs, batch):
+    batches = 0
+    for start in range(0, len(arcs), batch):  # len-bounded but the loop
+        batches += 1  # variable never indexes anything: silent
+    return batches

@@ -1,0 +1,8 @@
+"""R15 scope fixture: the same walk outside the kernel dirs is silent."""
+
+
+def checksum(records):
+    total = 0
+    for i in range(len(records)):  # service/ is not kernel territory
+        total += records[i].size
+    return total

@@ -1,0 +1,34 @@
+"""R15: per-element numpy loops in the kernel dirs are flagged."""
+
+from tests.analysis.conftest import FIXTURES, hits, lint
+
+
+def test_bad_fixture_fires_once_per_loop() -> None:
+    findings = lint(FIXTURES / "vectorloops_bad", select=["R15"])
+    assert hits(findings) == [("R15", 5), ("R15", 6), ("R15", 6), ("R15", 12)]
+    # One finding per loop even when the body indexes at several sites.
+    multi_site = [d for d in findings if d.path.endswith("residual_bad.py")]
+    assert len(multi_site) == 2
+
+
+def test_message_names_the_indexing_site() -> None:
+    findings = lint(
+        FIXTURES / "vectorloops_bad" / "flow" / "residual_bad.py",
+        select=["R15"],
+    )
+    # Linted as a bare file the flow/ scope is gone ...
+    assert findings == []
+    findings = lint(FIXTURES / "vectorloops_bad", select=["R15"])
+    first = next(d for d in findings if d.line == 6)
+    assert "line 7" in first.message  # ... and in scope, the site is cited
+
+
+def test_good_fixture_is_silent_under_all_rules() -> None:
+    assert lint(FIXTURES / "vectorloops_good") == []
+
+
+def test_reference_module_is_exempt_by_name() -> None:
+    findings = lint(
+        FIXTURES / "vectorloops_good" / "flow", select=["R15"]
+    )
+    assert findings == []

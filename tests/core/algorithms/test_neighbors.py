@@ -6,8 +6,11 @@ import pytest
 from repro.core.algorithms.neighbors import (
     IndexNeighborOrders,
     MatrixNeighborOrders,
+    _chunked_descending,
     neighbor_orders_for,
 )
+from repro.exceptions import BudgetExceededError
+from repro.robustness.budget import Budget
 from repro.core.model import Instance
 
 
@@ -100,3 +103,44 @@ class TestAutoSelection:
         orders = neighbor_orders_for(instance)
         assert isinstance(orders, IndexNeighborOrders)
         assert not instance.has_matrix
+
+
+class TestChunkedStreams:
+    """The chunked top-k generator behind the matrix provider."""
+
+    def test_stream_is_exactly_stable_argsort_order(self):
+        rng = np.random.default_rng(3)
+        values = np.round(rng.random(200), 1)  # one-decimal grid: ties galore
+        stream = list(_chunked_descending(values))
+        expected = [
+            (int(i), float(values[i]))
+            for i in np.argsort(-values, kind="stable")
+        ]
+        assert stream == expected
+
+    def test_zero_weight_probes_leave_node_accounting_alone(self):
+        budget = Budget(node_limit=5)
+        values = np.arange(300, dtype=np.float64)
+        assert len(list(_chunked_descending(values, budget))) == 300
+        # Many chunks were pulled, yet no nodes were charged: the probe
+        # must not perturb node-limited runs (digest stability).
+        assert budget.nodes == 0
+
+    def test_expired_deadline_interrupts_deep_consumption(self):
+        budget = Budget(deadline=0.0)
+        stream = _chunked_descending(np.arange(10.0), budget)
+        assert next(stream) == (9, 9.0)  # first chunk is served unprobed
+        with pytest.raises(BudgetExceededError):
+            list(stream)
+
+    def test_greedy_returns_partial_arrangement_on_exhaustion(
+        self, attribute_instance
+    ):
+        from repro.core.algorithms import GreedyGEACC
+
+        arrangement = GreedyGEACC().solve(
+            attribute_instance, budget=Budget(deadline=0.0)
+        )
+        # Anytime semantics: exhaustion mid-generation yields the pairs
+        # matched so far (possibly none), never an exception.
+        assert arrangement.pairs() == []

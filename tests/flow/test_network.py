@@ -63,3 +63,45 @@ def test_invalid_nodes_and_caps():
 def test_flow_on(triangle):
     triangle.push(0, 1)
     assert triangle.flow_on(0) == 1
+
+
+def test_as_arrays_mirrors_scalar_arcs(triangle):
+    arrays = triangle.as_arrays()
+    assert arrays.n_arcs == len(triangle.arcs)
+    for i, arc in enumerate(triangle.arcs):
+        assert arrays.head[i] == arc.head
+        assert arrays.cap[i] == arc.cap
+        assert arrays.cost[i] == arc.cost
+        assert arrays.flow[i] == arc.flow
+        # An arc's tail is its twin's head.
+        assert arrays.tail[i] == triangle.arcs[i ^ 1].head
+    for node in range(triangle.n_nodes):
+        ids = arrays.arc_ids[arrays.indptr[node] : arrays.indptr[node + 1]]
+        assert list(ids) == triangle.adjacency[node]
+
+
+def test_push_dual_writes_into_the_arrays_view(triangle):
+    arrays = triangle.as_arrays()
+    triangle.push(0, 2)
+    assert arrays.flow[0] == 2
+    assert arrays.flow[1] == -2  # the twin moved in lock-step
+    assert triangle.as_arrays() is arrays  # topology unchanged: same view
+
+
+def test_reset_flow_zeroes_the_arrays_view(triangle):
+    arrays = triangle.as_arrays()
+    triangle.push(0, 2)
+    triangle.reset_flow()
+    assert not arrays.flow.any()
+
+
+def test_adding_arcs_rebuilds_the_arrays_view(triangle):
+    stale = triangle.as_arrays()
+    triangle.push(0, 1)
+    triangle.add_arc(0, 2, cap=4, cost=2.0)
+    fresh = triangle.as_arrays()
+    assert fresh is not stale
+    assert fresh.n_arcs == len(triangle.arcs)
+    assert fresh.flow[0] == 1  # pre-growth flow carried over
+    triangle.push(len(triangle.arcs) - 2, 3)
+    assert fresh.flow[-2] == 3  # dual-writes target the fresh view

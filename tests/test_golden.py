@@ -48,9 +48,12 @@ def test_golden_random_v(synthetic_seed7):
 
 
 def test_golden_meetup_auckland():
+    # Constant updated when the similarity cross terms moved from BLAS
+    # matmul to shape-stable einsum (tiling contract): 1-ulp sim shifts
+    # flip greedy tie-breaks on this workload.
     instance = meetup_city(MeetupCityConfig(city="auckland"), 0)
     assert GreedyGEACC().solve(instance).max_sum() == pytest.approx(
-        915.5474512754017
+        915.5538035767246
     )
 
 
