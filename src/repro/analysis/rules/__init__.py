@@ -16,6 +16,7 @@ from repro.analysis.rules.leaks import LeaseLeakRule
 from repro.analysis.rules.netio import NetworkIoRule
 from repro.analysis.rules.ordering import OrderingSafetyRule
 from repro.analysis.rules.parallelism import ParallelismRule
+from repro.analysis.rules.shardaccess import ShardAccessRule
 from repro.analysis.rules.solver_registry import SolverRegistryRule
 from repro.analysis.rules.suppression import SuppressionHygieneRule
 from repro.analysis.rules.timeapi import TimeApiRule
@@ -37,4 +38,5 @@ __all__ = [
     "SuppressionHygieneRule",
     "AtomicIoRule",
     "VectorLoopRule",
+    "ShardAccessRule",
 ]

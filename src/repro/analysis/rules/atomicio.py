@@ -19,10 +19,12 @@ So inside ``src/repro/service/`` this rule flags:
 * ``Path.write_text`` / ``Path.write_bytes`` -- convenience writers
   with no fsync anywhere.
 
-The two modules that *implement* the durable machinery --
+The modules that *implement* the durable machinery --
 ``journal.py`` (the :class:`~repro.service.journal.FileSystem` seam and
-the write-ahead journal) and ``snapshot.py`` (the atomic-write helper
-itself) -- are exempt: the primitives have to live somewhere. Calls
+the write-ahead journal), ``snapshot.py`` (the atomic-write helper
+itself) and the sharding ``manifest.py`` (the coordinator's own
+write-ahead log, built on the same seam) -- are exempt: the primitives
+have to live somewhere. Calls
 with a non-literal or absent mode are not flagged (default mode is
 ``"r"``; a computed mode is a refactor smell but not provably a write),
 and a bare ``.replace(...)`` attribute call is ignored because it
@@ -43,7 +45,7 @@ from repro.analysis.registry import Rule, register_rule
 _SCOPE_DIR = "service"
 
 #: Modules that implement the durable primitives and may touch raw I/O.
-_EXEMPT_FILES = frozenset({"journal.py", "snapshot.py"})
+_EXEMPT_FILES = frozenset({"journal.py", "snapshot.py", "manifest.py"})
 
 #: Mode-string characters that make an ``open`` call a write.
 _WRITE_MODE_CHARS = frozenset("wax+")

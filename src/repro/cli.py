@@ -345,29 +345,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.exceptions import JournalError
     from repro.service.frontend import ArrangementService
     from repro.service.http import make_server
+    from repro.service.sharding import ShardCoordinator
     from repro.service.store import StoreConfig
 
     config = StoreConfig(dimension=args.dimension, t=args.t, metric=args.metric)
-    snapshot_dir = args.snapshot_dir or f"{args.journal}.snapshots"
     try:
-        service = ArrangementService.open(
-            args.journal,
-            config,
-            snapshot_dir=snapshot_dir,
-            retain=args.retain,
-            compact_bytes=args.compact_bytes or None,
-            batch_ms=args.batch_ms,
-            solve_timeout=args.timeout,
-            max_pending=args.max_pending,
-            ladder=tuple(args.ladder),
-        )
+        if args.shards:
+            # --shards N: args.journal names the shard root directory
+            # (manifest + one journal/snapshot dir per shard).
+            service = ShardCoordinator.open(
+                args.journal,
+                config,
+                shards=args.shards,
+                retain=args.retain,
+                compact_bytes=args.compact_bytes or None,
+                batch_ms=args.batch_ms,
+                solve_timeout=args.timeout,
+                max_pending=args.max_pending,
+                ladder=tuple(args.ladder),
+            )
+        else:
+            snapshot_dir = args.snapshot_dir or f"{args.journal}.snapshots"
+            service = ArrangementService.open(
+                args.journal,
+                config,
+                snapshot_dir=snapshot_dir,
+                retain=args.retain,
+                compact_bytes=args.compact_bytes or None,
+                batch_ms=args.batch_ms,
+                solve_timeout=args.timeout,
+                max_pending=args.max_pending,
+                ladder=tuple(args.ladder),
+            )
     except JournalError as exc:
         print(f"geacc serve: cannot recover: {exc}", file=sys.stderr)
         return 2
-    service._crash_after_snapshot = args.crash_after_snapshot
+    if not args.shards:
+        service._crash_after_snapshot = args.crash_after_snapshot
     server = make_server(service, host=args.host, port=args.port)
     summary = service.state_summary()
-    recovery = summary["last_recovery"]
+    recovery = summary.get("last_recovery")
     print(
         f"geacc serve: journal={args.journal} seq={summary['seq']} "
         f"|V|={summary['n_events']} |U|={summary['n_users']} "
@@ -375,6 +392,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         + (f" recovery={recovery['rung']}" if recovery else ""),
         flush=True,
     )
+    topology = summary.get("sharding")
+    if topology:
+        per_shard = " ".join(
+            f"s{row['shard']}:|V|={row['n_events']},|U|={row['n_users']},"
+            f"seq={row['seq']}"
+            for row in topology["per_shard"]
+        )
+        print(
+            f"geacc serve: sharding shards={topology['shards']} "
+            f"components={topology['components']} "
+            f"rebalances={topology['rebalances']} {per_shard}",
+            flush=True,
+        )
     # The smoke driver and scripts parse this exact line for the port.
     print(f"listening on http://{args.host}:{server.port}", flush=True)
     try:
@@ -394,22 +424,45 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from repro.service.loadgen import replay_timeline
+    from repro.service.loadgen import replay_timeline, replay_timeline_sharded
+    from repro.service.sharding import shardable_instance, shardable_timeline
     from repro.simulation import random_timeline
 
     from repro.exceptions import JournalError
 
-    instance = _build_instance(args)
+    if args.components:
+        # A clustered, partition-respecting universe sized from the
+        # standard instance flags (|V| and |U| split across components).
+        instance = shardable_instance(
+            args.components,
+            max(1, args.events // args.components),
+            max(1, args.users // args.components),
+            dimension=args.dimension,
+            seed=args.seed,
+        )
+        timeline = shardable_timeline(instance)
+    else:
+        instance = _build_instance(args)
+        rng = np.random.default_rng(args.seed)
+        timeline = random_timeline(instance, rng, horizon=args.horizon)
     print(instance)
-    rng = np.random.default_rng(args.seed)
-    timeline = random_timeline(instance, rng, horizon=args.horizon)
     try:
-        if args.journal:
-            journal_path = Path(args.journal)
+        if args.shards:
+            with tempfile.TemporaryDirectory() as tmp:
+                report = replay_timeline_sharded(
+                    instance,
+                    timeline,
+                    Path(args.journal) if args.journal else Path(tmp) / "fleet",
+                    shards=args.shards,
+                    solve_timeout=args.timeout,
+                    ladder=tuple(args.ladder),
+                    bound=args.bound,
+                )
+        elif args.journal:
             report = replay_timeline(
                 instance,
                 timeline,
-                journal_path,
+                Path(args.journal),
                 batch_ms=args.batch_ms,
                 solve_timeout=args.timeout,
                 ladder=tuple(args.ladder),
@@ -754,6 +807,11 @@ def build_parser() -> argparse.ArgumentParser:
         # the next compaction (the kill-mid-compaction smoke scenario).
         "--crash-after-snapshot", action="store_true", help=argparse.SUPPRESS,
     )
+    serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="shard the service by conflict-graph components; --journal "
+        "then names the shard root directory (0 = unsharded)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     compact = subparsers.add_parser(
@@ -802,7 +860,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument(
         "--journal", default=None, metavar="PATH",
-        help="keep the run's journal here (default: a temp file)",
+        help="keep the run's journal here (default: a temp file); with "
+        "--shards this is the shard root directory",
+    )
+    replay.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="replay through a shard fleet driven synchronously; compare "
+        "--shards 1 vs --shards 8 for the scaling story (0 = classic "
+        "threaded single service)",
+    )
+    replay.add_argument(
+        "--components", type=int, default=0, metavar="K",
+        help="use a clustered shardable workload with K conflict "
+        "components instead of the uniform synthetic instance",
     )
     replay.set_defaults(func=_cmd_replay)
 

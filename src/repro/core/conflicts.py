@@ -20,6 +20,74 @@ import numpy as np
 from repro.exceptions import InvalidInstanceError
 
 
+class DisjointSet:
+    """Union-find over integer keys with path compression and union by size.
+
+    The substrate for conflict-component tracking: events are keys, a
+    conflict edge is a union, and a component is everything sharing a
+    root. Roots are canonicalised to the *smallest* member key so that
+    component identity is stable under insertion order -- two traversals
+    of the same edge set always name a component by the same id.
+    """
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+        self._size: dict[int, int] = {}
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def add(self, key: int) -> None:
+        """Register ``key`` as a singleton component (idempotent)."""
+        if key not in self._parent:
+            self._parent[key] = key
+            self._size[key] = 1
+
+    def find(self, key: int) -> int:
+        """The component id (smallest member) of ``key``'s component."""
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``.
+
+        Returns True when the union actually merged two distinct
+        components (the signal component-merge detection keys on).
+        """
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        # Keep the smaller key as the surviving root so component ids
+        # are insertion-order independent; size-weighting is secondary.
+        if ra > rb:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size.pop(rb)
+        return True
+
+    def component_sizes(self) -> dict[int, int]:
+        """Map of component id -> member count."""
+        return {self.find(root): size for root, size in self._size.items()}
+
+    def members(self) -> dict[int, list[int]]:
+        """Map of component id -> sorted member keys."""
+        grouped: dict[int, list[int]] = {}
+        for key in self._parent:
+            grouped.setdefault(self.find(key), []).append(key)
+        for component in grouped.values():
+            component.sort()
+        return grouped
+
+
 class ConflictGraph:
     """Symmetric conflict relation over ``n_events`` events."""
 

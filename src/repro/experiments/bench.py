@@ -57,7 +57,12 @@ from repro.exceptions import ReproError
 from repro.experiments.config import SCALES, get_scale
 from repro.experiments.reporting import format_table
 from repro.robustness.harness import run_with_budget
-from repro.service.bench import ServiceBench, run_service_bench
+from repro.service.bench import (
+    ServiceBench,
+    ShardScalingBench,
+    run_service_bench,
+    run_shard_scaling_bench,
+)
 
 #: Format marker of BENCH_*.json reports (v1 reports are still readable).
 BENCH_FORMAT = "geacc-bench-v2"
@@ -153,6 +158,7 @@ class TierReport:
     repeats: int
     results: tuple[SolverBench, ...]
     service: ServiceBench | None = None
+    sharded: ShardScalingBench | None = None
 
     def result_for(self, solver: str) -> SolverBench | None:
         for result in self.results:
@@ -205,6 +211,19 @@ class TierReport:
                     f"{1000 * s.recovery_snapshot_seconds:.2f}ms "
                     f"({speedup:.1f}x, {s.recovery_records} records)"
                 )
+        if self.sharded is not None:
+            sweep = " ".join(
+                f"{run.shards}={run.seconds:.2f}s({run.aggregate_rps:.0f}rps)"
+                for run in self.sharded.runs
+            )
+            rendered += (
+                "\n== sharded service bench =="
+                f"\nshards:         {sweep} "
+                f"-> {self.sharded.speedup:.1f}x aggregate speedup "
+                f"({self.sharded.n_components} components, "
+                f"{self.sharded.runs[0].n_requests if self.sharded.runs else 0}"
+                " requests/run)"
+            )
         return rendered
 
     def to_json(self) -> dict:
@@ -215,6 +234,8 @@ class TierReport:
         }
         if self.service is not None:
             data["service"] = self.service.to_json()
+        if self.sharded is not None:
+            data["sharded_service"] = self.sharded.to_json()
         return data
 
     @classmethod
@@ -232,6 +253,11 @@ class TierReport:
             service=(
                 ServiceBench.from_json(data["service"])
                 if "service" in data
+                else None
+            ),
+            sharded=(
+                ShardScalingBench.from_json(data["sharded_service"])
+                if "sharded_service" in data
                 else None
             ),
         )
@@ -361,11 +387,12 @@ def run_bench(
     any timing wherever the tier says so -- and never for the xl
     streaming workload, whose whole point is staying matrix-free.
 
-    ``with_service`` additionally runs the serving-path scenario
-    (:mod:`repro.service.bench`: journal-append throughput and request
-    latency on its own fixed workload) on scale tiers -- the xl tier
-    never includes it -- and records it in the report, where
-    :func:`compare_reports` gates it like any solver timing.
+    ``with_service`` additionally runs the serving-path scenarios
+    (:mod:`repro.service.bench`: journal-append throughput, request
+    latency, recovery, and the shard-scaling sweep, each on its own
+    fixed workload) on scale tiers -- the xl tier never includes them --
+    and records them in the report, where :func:`compare_reports` gates
+    them like any solver timing.
     """
     is_xl = scale == "xl"
     tier_name = "xl" if is_xl else get_scale(scale).name
@@ -400,6 +427,11 @@ def run_bench(
                 results=tuple(results),
                 service=(
                     run_service_bench(quick=quick)
+                    if with_service and not is_xl
+                    else None
+                ),
+                sharded=(
+                    run_shard_scaling_bench(quick=quick)
                     if with_service and not is_xl
                     else None
                 ),
@@ -585,6 +617,48 @@ def _compare_tier(
                     f"{tier.tier}/{label}: {now:.6f}s vs baseline "
                     f"{base_value:.6f}s ({ratio:.2f}x > {max_regression:g}x)"
                 )
+    if tier.sharded is not None and base_tier.sharded is not None:
+        messages.extend(
+            _compare_sharded(tier.tier, tier.sharded, base_tier.sharded, max_regression)
+        )
+    return messages
+
+
+def _compare_sharded(
+    tier_name: str,
+    sharded: ShardScalingBench,
+    base: ShardScalingBench,
+    max_regression: float,
+) -> list[str]:
+    """Per-shard-count wall-clock gates for the scaling sweep.
+
+    Shard counts diff like solvers: a count present in only one report
+    is ignored (quick runs sweep a subset of the full counts), but a
+    baseline from a different clustered workload shape is a finding --
+    the sweep's whole claim is same-commands-fewer-entities-per-solve,
+    which only holds against the identical instance.
+    """
+    if sharded.workload_shape() != base.workload_shape() or (
+        sharded.seed != base.seed
+    ):
+        return [
+            f"{tier_name}/sharded-service: baseline workload mismatch "
+            f"(baseline shape={base.workload_shape()} seed={base.seed}, "
+            f"current shape={sharded.workload_shape()} "
+            f"seed={sharded.seed}) -- regenerate the baseline"
+        ]
+    messages = []
+    for run in sharded.runs:
+        base_run = base.run_for(run.shards)
+        if base_run is None or base_run.seconds <= 0:
+            continue
+        ratio = run.seconds / base_run.seconds
+        if ratio > max_regression:
+            messages.append(
+                f"{tier_name}/sharded-service.{run.shards}-shards: "
+                f"{run.seconds:.4f}s vs baseline {base_run.seconds:.4f}s "
+                f"({ratio:.2f}x > {max_regression:g}x)"
+            )
     return messages
 
 

@@ -1,0 +1,69 @@
+"""Zero-copy batch solving for shard workers.
+
+Each shard's :class:`~repro.service.engine.MicroBatchEngine` re-solves
+its open remainder independently, so with N shards there are N solver
+call sites running concurrently. :func:`solve_shard_batch` routes those
+solves through the :class:`~repro.parallel.sharedmem.
+SharedInstanceArchive`: the sub-instance's numeric payload (capacities,
+conflict pairs, similarity matrix) is packed into one shared-memory
+segment and the ladder solves over zero-copy views of it rather than
+per-solver copies of the parent arrays -- the same lifecycle the sweep
+executor's workers use, exercised here from shard engine threads.
+
+When shared memory is unavailable (no ``/dev/shm``, payload too small
+to be worth a segment) the function degrades to a plain in-process
+:func:`~repro.robustness.harness.solve_with_ladder`; results are
+identical either way, which ``tests/parallel/test_shardsolve.py`` pins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import dataclasses
+
+from repro.core.model import Arrangement, Instance
+from repro.parallel.sharedmem import SharedInstanceArchive
+from repro.robustness.harness import SolveResult, solve_with_ladder
+
+
+def solve_shard_batch(
+    instance: Instance,
+    ladder: Sequence[object],
+    *,
+    timeout: float | None = None,
+) -> SolveResult:
+    """Run the degradation ladder over a shared-memory view of ``instance``.
+
+    Packs the instance into one shm segment, attaches a zero-copy lease,
+    solves, and destroys the segment -- create/attach/close/unlink along
+    the audited :mod:`repro.parallel.sharedmem` lifecycle so crash-kill
+    tests never leak segments. Falls back to solving the in-process
+    instance when archiving is unavailable.
+    """
+    archive = SharedInstanceArchive.from_instance(instance)
+    if archive is None:
+        return solve_with_ladder(instance, ladder, timeout=timeout)
+    try:
+        with archive.handle.attach() as shared:
+            result = solve_with_ladder(shared, ladder, timeout=timeout)
+        return _rebound(result, instance)
+    finally:
+        archive.destroy()
+
+
+def _rebound(result: SolveResult, instance: Instance) -> SolveResult:
+    """The same result, re-anchored on the caller's in-process instance.
+
+    The solved arrangement references the shared-memory view, whose
+    segment is about to be unlinked; anything reading similarities off
+    it afterwards (``max_sum``, validation) would touch freed pages.
+    The round-trip is bit-identical, so rebuilding the matching on the
+    original instance changes nothing observable.
+    """
+    if result.arrangement is None:
+        return result
+    rebound = Arrangement(instance)
+    for event, user in result.arrangement.pairs():
+        rebound.add(event, user)
+    return dataclasses.replace(result, arrangement=rebound)

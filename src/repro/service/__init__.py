@@ -37,7 +37,19 @@ from repro.service.journal import (
     RecoveryReport,
     replay,
 )
-from repro.service.loadgen import ReplayReport, replay_timeline
+from repro.service.loadgen import (
+    ReplayReport,
+    replay_timeline,
+    replay_timeline_sharded,
+)
+from repro.service.sharding import (
+    ConflictPartitioner,
+    ShardCoordinator,
+    ShardManager,
+    ShardManifest,
+    shardable_instance,
+    shardable_timeline,
+)
 from repro.service.snapshot import (
     DEFAULT_RETAIN,
     SNAPSHOT_FORMAT,
@@ -55,6 +67,7 @@ __all__ = [
     "ArrangementService",
     "ArrangementStore",
     "CompactionStats",
+    "ConflictPartitioner",
     "DEFAULT_RETAIN",
     "Delta",
     "FileSystem",
@@ -66,6 +79,9 @@ __all__ = [
     "RecoveryReport",
     "ReplayReport",
     "SNAPSHOT_FORMAT",
+    "ShardCoordinator",
+    "ShardManager",
+    "ShardManifest",
     "StoreConfig",
     "atomic_write_bytes",
     "compact",
@@ -74,5 +90,8 @@ __all__ = [
     "recover_state",
     "replay",
     "replay_timeline",
+    "replay_timeline_sharded",
+    "shardable_instance",
+    "shardable_timeline",
     "write_snapshot",
 ]

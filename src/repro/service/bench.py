@@ -12,12 +12,19 @@ the solver timings, under the same ``make bench-check`` regression gate:
 * **recovery** -- seconds to reconstruct state from the same journal
   two ways: full replay versus newest-snapshot + tail after a
   compaction (the number bounded-time crash recovery exists to keep
-  small).
+  small);
+* **shard scaling** -- one synchronous replay of a fixed clustered
+  workload per shard count (1/2/4/8), each run driving the identical
+  command sequence through :func:`~repro.service.loadgen.
+  replay_timeline_sharded`, so the aggregate-throughput curve measures
+  exactly the work sharding removes (each shard's batch re-solves only
+  its slice of the universe).
 
 Comparability follows the solver bench rules: a fixed synthetic
-workload (seeded), ``--quick`` changes only repetition counts, and the
-gate compares against the committed baseline with the usual tolerated
-factor.
+workload (seeded), ``--quick`` changes only repetition counts -- for
+the shard-scaling scenario, only *which shard counts run* (a strict
+subset of the full sweep on the same instance) -- and the gate compares
+against the committed baseline with the usual tolerated factor.
 """
 
 from __future__ import annotations
@@ -50,6 +57,19 @@ QUICK_RECOVERY_RECORDS = 300
 #: Fraction of the journal appended *after* the compaction snapshot --
 #: the tail a snapshot+tail recovery actually replays.
 RECOVERY_TAIL_FRACTION = 0.05
+
+#: Fixed clustered workload of the shard-scaling scenario: 24 conflict
+#: components of 3 chained events + 12 capacity-1 users each (72 events,
+#: 288 users) -- big enough that the per-batch re-solve dominates, small
+#: enough that the whole sweep stays around ten seconds.
+SHARD_COMPONENTS = 24
+SHARD_EVENTS_PER_COMPONENT = 3
+SHARD_USERS_PER_COMPONENT = 12
+SHARD_DIMENSION = 8
+#: Shard counts swept (full / --quick; quick is a strict subset so its
+#: runs stay directly comparable against a full baseline).
+FULL_SHARD_COUNTS = (1, 2, 4, 8)
+QUICK_SHARD_COUNTS = (1, 4)
 
 
 @dataclass(frozen=True)
@@ -101,6 +121,152 @@ class ServiceBench:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ReproError(f"malformed service bench entry {data!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ShardScalingRun:
+    """One shard count's synchronous replay of the fixed workload."""
+
+    shards: int
+    seconds: float
+    aggregate_rps: float
+    n_requests: int
+
+    def to_json(self) -> dict:
+        return {
+            "seconds": self.seconds,
+            "aggregate_rps": self.aggregate_rps,
+            "n_requests": self.n_requests,
+        }
+
+    @classmethod
+    def from_json(cls, shards: int, data: dict) -> "ShardScalingRun":
+        return cls(
+            shards=shards,
+            seconds=float(data["seconds"]),
+            aggregate_rps=float(data["aggregate_rps"]),
+            n_requests=int(data["n_requests"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShardScalingBench:
+    """The shard-scaling sweep recorded in the bench report.
+
+    Every run drives the identical command sequence (same instance, same
+    timeline, synchronous resolution), so ``runs[i].seconds`` are
+    directly comparable across shard counts and across commits.
+    """
+
+    n_components: int
+    events_per_component: int
+    users_per_component: int
+    dimension: int
+    seed: int
+    runs: tuple[ShardScalingRun, ...]
+
+    def run_for(self, shards: int) -> ShardScalingRun | None:
+        for run in self.runs:
+            if run.shards == shards:
+                return run
+        return None
+
+    @property
+    def speedup(self) -> float:
+        """Single-shard seconds over the widest sweep's seconds."""
+        if len(self.runs) < 2:
+            return 1.0
+        base = self.run_for(1)
+        widest = max(self.runs, key=lambda run: run.shards)
+        if base is None or widest.seconds <= 0:
+            return 1.0
+        return base.seconds / widest.seconds
+
+    def workload_shape(self) -> tuple[int, int, int, int]:
+        return (
+            self.n_components,
+            self.events_per_component,
+            self.users_per_component,
+            self.dimension,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "n_components": self.n_components,
+            "events_per_component": self.events_per_component,
+            "users_per_component": self.users_per_component,
+            "dimension": self.dimension,
+            "seed": self.seed,
+            "runs": {str(run.shards): run.to_json() for run in self.runs},
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ShardScalingBench":
+        try:
+            return cls(
+                n_components=int(data["n_components"]),
+                events_per_component=int(data["events_per_component"]),
+                users_per_component=int(data["users_per_component"]),
+                dimension=int(data["dimension"]),
+                seed=int(data["seed"]),
+                runs=tuple(
+                    ShardScalingRun.from_json(int(shards), entry)
+                    for shards, entry in sorted(
+                        data["runs"].items(), key=lambda kv: int(kv[0])
+                    )
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(
+                f"malformed shard-scaling bench entry {data!r}: {exc}"
+            ) from exc
+
+
+def run_shard_scaling_bench(quick: bool = False) -> ShardScalingBench:
+    """Sweep shard counts over the fixed clustered replay workload.
+
+    Replay verification is off (it would re-read every shard journal and
+    recover the fleet -- correctness work the sharding test suite owns);
+    the clock sees the synchronous drive only.
+    """
+    from repro.service.loadgen import replay_timeline_sharded
+    from repro.service.sharding import shardable_instance, shardable_timeline
+
+    instance = shardable_instance(
+        SHARD_COMPONENTS,
+        SHARD_EVENTS_PER_COMPONENT,
+        SHARD_USERS_PER_COMPONENT,
+        dimension=SHARD_DIMENSION,
+        seed=BENCH_SEED,
+    )
+    timeline = shardable_timeline(instance)
+    counts = QUICK_SHARD_COUNTS if quick else FULL_SHARD_COUNTS
+    runs = []
+    with TemporaryDirectory() as tmp_name:
+        for shards in counts:
+            report = replay_timeline_sharded(
+                instance,
+                timeline,
+                Path(tmp_name) / f"fleet-{shards}",
+                shards=shards,
+                verify_replay=False,
+            )
+            runs.append(
+                ShardScalingRun(
+                    shards=shards,
+                    seconds=report.seconds,
+                    aggregate_rps=report.aggregate_rps,
+                    n_requests=report.n_requests,
+                )
+            )
+    return ShardScalingBench(
+        n_components=SHARD_COMPONENTS,
+        events_per_component=SHARD_EVENTS_PER_COMPONENT,
+        users_per_component=SHARD_USERS_PER_COMPONENT,
+        dimension=SHARD_DIMENSION,
+        seed=BENCH_SEED,
+        runs=tuple(runs),
+    )
 
 
 def _bench_journal_appends(tmp: Path, appends: int, repeats: int) -> float:

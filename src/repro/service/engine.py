@@ -21,17 +21,31 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import TYPE_CHECKING
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
+from repro.core.conflicts import DisjointSet
 from repro.core.model import Instance
 from repro.exceptions import ServiceError, ServiceOverloadedError
-from repro.robustness.harness import solve_with_ladder
+from repro.robustness.harness import SolveResult, solve_with_ladder
 from repro.service.store import ArrangementStore, Delta
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.frontend import ArrangementService
+
+
+class BatchSolver(Protocol):
+    """The solver signature a batch engine drives (ladder-compatible)."""
+
+    def __call__(
+        self,
+        instance: Instance,
+        ladder: Sequence[object],
+        *,
+        timeout: float | None = None,
+    ) -> SolveResult: ...
 
 #: Default micro-batch coalescing window.
 DEFAULT_BATCH_MS = 25.0
@@ -111,6 +125,11 @@ class MicroBatchEngine:
         solve_timeout: Per-batch ladder deadline (seconds).
         max_pending: Admission-control queue bound.
         ladder: Solver names for :func:`solve_with_ladder`, best first.
+        solver: Optional replacement for :func:`solve_with_ladder` with
+            the same ``(instance, ladder, *, timeout)`` signature. The
+            shard coordinator injects
+            :func:`repro.parallel.shardsolve.solve_shard_batch` here so
+            shard batches solve over zero-copy shared-memory views.
     """
 
     def __init__(
@@ -120,6 +139,7 @@ class MicroBatchEngine:
         solve_timeout: float = DEFAULT_SOLVE_TIMEOUT,
         max_pending: int = DEFAULT_MAX_PENDING,
         ladder: tuple[str, ...] = DEFAULT_LADDER,
+        solver: "BatchSolver | None" = None,
     ) -> None:
         if batch_ms < 0:
             raise ServiceError(f"batch_ms must be >= 0, got {batch_ms}")
@@ -132,12 +152,14 @@ class MicroBatchEngine:
         self.solve_timeout = solve_timeout
         self.max_pending = max_pending
         self.ladder = tuple(ladder)
+        self._solve = solver if solver is not None else solve_with_ladder
         self.batches_solved = 0
         self.requests_served = 0
         self.last_outcome: str | None = None
         self._pending: list[PendingRequest] = []
         self._cond = threading.Condition()
         self._stop = False
+        self._dirty = False
         self._thread: threading.Thread | None = None
 
     # ------------------------------------------------------------------
@@ -166,6 +188,21 @@ class MicroBatchEngine:
     def pending(self) -> int:
         with self._cond:
             return len(self._pending)
+
+    def mark_dirty(self) -> None:
+        """Request a re-solve even when no assignment request is queued.
+
+        Mutations that change the feasible region (a freeze, a cancel, a
+        new event) leave the standing arrangement stale without putting
+        anything in the queue. The shard coordinator marks the affected
+        shard dirty; the next batch -- background-thread or synchronous
+        -- re-solves the open remainder even if the request list is
+        empty. The unsharded service never calls this, so its batch
+        cadence is unchanged.
+        """
+        with self._cond:
+            self._dirty = True
+            self._cond.notify_all()
 
     # ------------------------------------------------------------------
     # The batch loop
@@ -196,7 +233,7 @@ class MicroBatchEngine:
     def _run(self) -> None:
         while True:
             with self._cond:
-                while not self._pending and not self._stop:
+                while not self._pending and not self._dirty and not self._stop:
                     self._cond.wait()
                 if self._stop:
                     return
@@ -216,7 +253,9 @@ class MicroBatchEngine:
         with self._cond:
             batch = self._pending
             self._pending = []
-        if not batch:
+            dirty = self._dirty
+            self._dirty = False
+        if not batch and not dirty:
             return 0
         try:
             self._solve_and_commit(batch)
@@ -296,7 +335,7 @@ class MicroBatchEngine:
         sub_instance = Instance(
             event_capacities, user_capacities, conflicts, sims=sims
         )
-        result = solve_with_ladder(
+        result = self._solve(
             sub_instance, self.ladder, timeout=self.solve_timeout
         )
         self.last_outcome = result.outcome.value
@@ -309,11 +348,47 @@ class MicroBatchEngine:
             if store.is_open(e)
         }
         candidate = set(result.arrangement.pairs())
-        current_sum = float(sum(sims[e, u] for e, u in current))
-        candidate_sum = float(sum(sims[e, u] for e, u in candidate))
-        if candidate_sum < current_sum or current == candidate:
+        if current == candidate:
             return Delta()
+
+        # Keep-better is decided per *user-linked conflict cluster*, not
+        # globally: conflict-graph components are independent on the
+        # event side, so a deadline-starved rung that regressed one
+        # region must not veto a genuine improvement in another. But a
+        # user holding seats in several components couples them through
+        # its capacity -- applying one component's candidate while
+        # keeping another's current seats could over-commit that user --
+        # so components sharing any user (in either arrangement) are
+        # merged into one accept/reject unit first.
+        clusters = DisjointSet()
+        for event in range(n_events):
+            clusters.add(event)
+            for other in store.event_conflicts(event):
+                clusters.union(event, other)
+        anchor_of_user: dict[int, int] = {}
+        for event, user in current | candidate:
+            anchor = anchor_of_user.setdefault(user, event)
+            clusters.union(anchor, event)
+        current_of: dict[int, set[tuple[int, int]]] = {}
+        candidate_of: dict[int, set[tuple[int, int]]] = {}
+        for pair in current:
+            current_of.setdefault(clusters.find(pair[0]), set()).add(pair)
+        for pair in candidate:
+            candidate_of.setdefault(clusters.find(pair[0]), set()).add(pair)
+        assigns: list[tuple[int, int]] = []
+        unassigns: list[tuple[int, int]] = []
+        for root in sorted(set(current_of) | set(candidate_of)):
+            kept = current_of.get(root, set())
+            solved = candidate_of.get(root, set())
+            if kept == solved:
+                continue
+            kept_sum = float(sum(sims[e, u] for e, u in kept))
+            solved_sum = float(sum(sims[e, u] for e, u in solved))
+            if solved_sum < kept_sum:
+                continue  # this cluster keeps its standing seats
+            assigns.extend(solved - kept)
+            unassigns.extend(kept - solved)
         return Delta(
-            assigns=tuple(sorted(candidate - current)),
-            unassigns=tuple(sorted(current - candidate)),
+            assigns=tuple(sorted(assigns)),
+            unassigns=tuple(sorted(unassigns)),
         )

@@ -29,6 +29,7 @@ from repro.service.engine import (
     DEFAULT_LADDER,
     DEFAULT_MAX_PENDING,
     DEFAULT_SOLVE_TIMEOUT,
+    BatchSolver,
     MicroBatchEngine,
     PendingRequest,
 )
@@ -41,11 +42,15 @@ from repro.service.snapshot import (
 )
 from repro.service.store import (
     CMD_CANCEL_EVENT,
+    CMD_COMMIT_BATCH,
     CMD_FREEZE_EVENT,
     CMD_POST_EVENT,
     CMD_REGISTER_USER,
     CMD_REQUEST_ASSIGNMENT,
+    CMD_RETIRE_EVENT,
+    CMD_RETIRE_USER,
     ArrangementStore,
+    Delta,
     StoreConfig,
 )
 
@@ -76,6 +81,7 @@ class ArrangementService:
         snapshot_dir: str | Path | None = None,
         retain: int = DEFAULT_RETAIN,
         compact_bytes: int | None = None,
+        batch_solver: "BatchSolver | None" = None,
     ) -> None:
         if store.seq != journal.seq:
             raise ServiceError(
@@ -100,6 +106,7 @@ class ArrangementService:
             solve_timeout=solve_timeout,
             max_pending=max_pending,
             ladder=ladder,
+            solver=batch_solver,
         )
         self._threaded = threaded
         self._closed = False
@@ -266,6 +273,34 @@ class ArrangementService:
         """Cancel an un-frozen event, releasing every seat it held."""
         self._accept(CMD_CANCEL_EVENT, {"event": event})
 
+    def retire_event(self, event: int) -> None:
+        """Tombstone ``event`` after its state migrated to another shard.
+
+        The rebalance protocol's source-side command: releases every
+        seat (frozen ones included -- the migrated copy owns them now)
+        and leaves a cancelled husk so ids stay dense. Not exposed over
+        HTTP; only :mod:`repro.service.sharding` issues it.
+        """
+        self._accept(CMD_RETIRE_EVENT, {"event": event})
+
+    def retire_user(self, user: int) -> None:
+        """Tombstone a migrated user (capacity drops to zero)."""
+        self._accept(CMD_RETIRE_USER, {"user": user})
+
+    def commit_delta(self, delta: Delta, users: list[int] | None = None) -> None:
+        """Journal and apply an externally solved arrangement delta.
+
+        The rebalance protocol's target-side command: the coordinator
+        re-creates migrated seats as one ``commit_batch`` record, the
+        same record shape the engine writes, so replay stays oblivious
+        to whether a batch came from a solve or a migration.
+        """
+        if not delta:
+            return
+        self._accept(
+            CMD_COMMIT_BATCH, {**delta.to_json(), "users": sorted(users or [])}
+        )
+
     def run_pending_batch(self) -> int:
         """Drive one batch synchronously (no-thread mode and tests)."""
         return self.engine.run_pending_batch()
@@ -297,6 +332,7 @@ class ArrangementService:
             self.store,
             self.snapshot_dir,
             retain=self.retain,
+            fs=self.journal.fs,
             crash_after_snapshot=self._crash_after_snapshot,
         )
         self.compactions += 1
@@ -306,6 +342,18 @@ class ArrangementService:
     # ------------------------------------------------------------------
     # Read side
     # ------------------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """The store's journal sequence number (duck-typed for routing).
+
+        The HTTP layer reads ``service.seq`` so the same handlers can
+        front either one service or a
+        :class:`~repro.service.sharding.ShardCoordinator` (whose ``seq``
+        aggregates its shards).
+        """
+        with self._lock:
+            return self.store.seq
 
     def assignments_of(self, user: int) -> tuple[int, ...]:
         with self._lock:
@@ -341,7 +389,7 @@ class ArrangementService:
     def _snapshot_summary_locked(self) -> dict | None:
         if self.snapshot_dir is None:
             return None
-        listed = list_snapshots(self.snapshot_dir)
+        listed = list_snapshots(self.snapshot_dir, fs=self.journal.fs)
         return {
             "dir": str(self.snapshot_dir),
             "count": len(listed),

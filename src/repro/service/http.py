@@ -34,8 +34,17 @@ import json
 import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from typing import TYPE_CHECKING, Union
+
 from repro.exceptions import ServiceError, ServiceOverloadedError
 from repro.service.frontend import ArrangementService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.sharding import ShardCoordinator
+
+#: Anything the handlers can front: one service, or a shard fleet behind
+#: its coordinator (same duck-typed command/read surface).
+Backend = Union[ArrangementService, "ShardCoordinator"]
 
 #: Retry-After hint (seconds) sent with 503 overload responses.
 RETRY_AFTER_S = 1
@@ -50,7 +59,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: tuple[str, int], service: ArrangementService):
+    def __init__(self, address: tuple[str, int], service: Backend):
         super().__init__(address, _Handler)
         self.service = service
 
@@ -102,13 +111,13 @@ class _Handler(BaseHTTPRequestHandler):
                     attributes=body.get("attributes"),
                     conflicts=body.get("conflicts"),
                 )
-                self._reply(201, {"event": event, "seq": service.store.seq})
+                self._reply(201, {"event": event, "seq": service.seq})
             elif self.path == "/users":
                 user = service.register_user(
                     capacity=body.get("capacity"),
                     attributes=body.get("attributes"),
                 )
-                self._reply(201, {"user": user, "seq": service.store.seq})
+                self._reply(201, {"user": user, "seq": service.seq})
             elif self.path == "/assignments":
                 user = body.get("user")
                 events = service.request_assignment(user)
@@ -167,7 +176,7 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def make_server(
-    service: ArrangementService, host: str = "127.0.0.1", port: int = 0
+    service: Backend, host: str = "127.0.0.1", port: int = 0
 ) -> ServiceHTTPServer:
     """Bind the JSON API (port 0 = ephemeral; read ``server.port``)."""
     return ServiceHTTPServer((host, port), service)

@@ -224,6 +224,16 @@ class Journal:
         self._fs = fs
         self._handle: IO[bytes] | None = handle
 
+    @property
+    def fs(self) -> FileSystem:
+        """The filesystem seam this journal writes through.
+
+        Everything that persists alongside the journal (snapshots, the
+        shard manifest) must go through the same seam so fault-injection
+        tests see one coherent world.
+        """
+        return self._fs
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------

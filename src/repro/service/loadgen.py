@@ -39,6 +39,7 @@ from repro.exceptions import ServiceError, ServiceOverloadedError
 from repro.service.engine import PendingRequest
 from repro.service.frontend import ArrangementService
 from repro.service.journal import replay as replay_journal
+from repro.service.sharding import ShardCoordinator, ShardManager
 from repro.service.store import StoreConfig
 from repro.simulation.policies import GreedyArrivalPolicy
 from repro.simulation.simulator import Simulator
@@ -74,6 +75,16 @@ class ReplayReport:
     seconds: float
     journal_path: str
     replay_verified: bool
+    #: Shard count of the deployment (None = classic unsharded service).
+    shards: int | None = None
+    #: Per-shard ``{"shard", "requests", "batches", "events", "users",
+    #: "rps"}`` rows, set for sharded runs.
+    per_shard: tuple[dict, ...] | None = None
+
+    @property
+    def aggregate_rps(self) -> float:
+        """Requests resolved per wall-clock second, across all shards."""
+        return self.n_requests / self.seconds if self.seconds > 0 else 0.0
 
     @property
     def ratio(self) -> float:
@@ -100,6 +111,16 @@ class ReplayReport:
             f"journal:  {self.journal_path} "
             f"(replay {'verified' if self.replay_verified else 'NOT verified'})",
         ]
+        if self.shards is not None:
+            rows = ", ".join(
+                f"s{row['shard']}={row['rps']:.0f}rps({row['requests']}req)"
+                for row in self.per_shard or ()
+            )
+            lines.insert(
+                2,
+                f"sharding: {self.shards} shards "
+                f"aggregate={self.aggregate_rps:.0f} req/s [{rows}]",
+            )
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -123,6 +144,17 @@ class ReplayReport:
             "baseline_ratio": self.baseline_ratio,
             "seconds": self.seconds,
             "replay_verified": self.replay_verified,
+            **(
+                {}
+                if self.shards is None
+                else {
+                    "sharding": {
+                        "shards": self.shards,
+                        "aggregate_rps": self.aggregate_rps,
+                        "per_shard": list(self.per_shard or ()),
+                    }
+                }
+            ),
         }
 
 
@@ -276,4 +308,179 @@ def replay_timeline(
         seconds=seconds,
         journal_path=str(journal_path),
         replay_verified=replay_verified,
+    )
+
+
+def replay_timeline_sharded(
+    instance: Instance,
+    timeline: Timeline,
+    root: str | Path,
+    *,
+    shards: int,
+    solve_timeout: float = 0.25,
+    max_pending: int = 1024,
+    ladder: tuple[str, ...] = ("greedy", "random-u"),
+    bound: str = "relaxation",
+    verify_replay: bool = True,
+) -> ReplayReport:
+    """Drive ``timeline`` through a fresh shard fleet under ``root``.
+
+    The sharded twin of :func:`replay_timeline`, and the harness behind
+    ``geacc replay --shards N``. Shards are driven *synchronously*
+    (every request resolves in the caller's thread before the next
+    command is issued), so two runs at different shard counts execute
+    the identical command sequence and the aggregate-throughput
+    comparison measures exactly the work sharding removes: each shard's
+    batch re-solves only its own slice of the universe instead of every
+    batch re-solving all of it. ``--shards 1`` through this same path is
+    the fair baseline.
+
+    Verification is per shard: every shard journal must replay to its
+    shard's live digest, and a full coordinator recovery (manifest walk
+    included) must reproduce the global arrangement digest.
+    """
+    if instance.event_attributes is None or instance.user_attributes is None:
+        raise ServiceError(
+            "geacc replay needs an attribute-backed instance (the service "
+            "computes similarities from attributes)"
+        )
+    if bound not in BOUNDS:
+        raise ServiceError(f"unknown bound {bound!r} (choose from {sorted(BOUNDS)})")
+    if shards < 1:
+        raise ServiceError(f"shards must be >= 1, got {shards}")
+    timeline.validate_against(instance)
+
+    config = StoreConfig(
+        dimension=instance.event_attributes.shape[1],
+        t=instance.t,
+        metric=instance.metric,
+    )
+    moments: list[tuple[float, int, int]] = []
+    for event, t in enumerate(timeline.post_times):
+        moments.append((float(t), 0, event))
+    for user, t in enumerate(timeline.arrival_times):
+        moments.append((float(t), 1, user))
+    for event, t in enumerate(timeline.start_times):
+        moments.append((float(t), 2, event))
+    moments.sort()
+
+    event_ids: dict[int, int] = {}
+    user_ids: dict[int, int] = {}
+    futures: list[PendingRequest] = []
+    overloaded = 0
+
+    root = Path(root)
+    started = time.perf_counter()
+    with ShardCoordinator.create(
+        root,
+        config,
+        shards,
+        threaded=False,
+        solve_timeout=solve_timeout,
+        max_pending=max_pending,
+        ladder=ladder,
+    ) as coordinator:
+        for _, kind, entity in moments:
+            if kind == 0:
+                conflicts = [
+                    event_ids[w]
+                    for w in sorted(instance.conflicts.conflicts_with(entity))
+                    if w in event_ids
+                ]
+                event_ids[entity] = coordinator.post_event(
+                    capacity=int(instance.event_capacities[entity]),
+                    attributes=[
+                        float(x) for x in instance.event_attributes[entity]
+                    ],
+                    conflicts=conflicts,
+                )
+            elif kind == 1:
+                user_ids[entity] = coordinator.register_user(
+                    capacity=int(instance.user_capacities[entity]),
+                    attributes=[
+                        float(x) for x in instance.user_attributes[entity]
+                    ],
+                )
+                try:
+                    request = coordinator.request_assignment(
+                        user_ids[entity], wait=False
+                    )
+                    assert isinstance(request, PendingRequest)
+                    futures.append(request)
+                except ServiceOverloadedError:
+                    overloaded += 1
+            else:
+                coordinator.freeze_event(event_ids[entity])
+        coordinator.run_pending_batch()
+        coordinator.check_invariants()
+        summary = coordinator.state_summary()
+        live_digest = coordinator.arrangement_digest()
+    seconds = time.perf_counter() - started
+
+    shard_rows = tuple(
+        {
+            "shard": row["shard"],
+            "requests": row["requests_seen"],
+            "batches": row["batches_committed"],
+            "events": row["n_events"],
+            "users": row["n_users"],
+            "rps": row["requests_seen"] / seconds if seconds > 0 else 0.0,
+        }
+        for row in summary["sharding"]["per_shard"]
+    )
+
+    replay_verified = False
+    if verify_replay:
+        for row in summary["sharding"]["per_shard"]:
+            recovered, _ = replay_journal(
+                ShardManager.journal_path(root, row["shard"])
+            )
+            if recovered.digest() != row["digest"]:
+                raise ServiceError(
+                    f"shard {row['shard']} journal does not replay to its "
+                    "live state (digest mismatch)"
+                )
+        with ShardCoordinator.recover(root, threaded=False) as reopened:
+            if reopened.arrangement_digest() != live_digest:
+                raise ServiceError(
+                    f"coordinator recovery of {root} does not reproduce the "
+                    "live arrangement (digest mismatch)"
+                )
+        replay_verified = True
+
+    latencies_ms = sorted(
+        1000.0 * request.latency_s
+        for request in futures
+        if request.latency_s is not None
+    )
+    if latencies_ms:
+        p50, p90, p99 = (
+            float(np.percentile(latencies_ms, q)) for q in (50.0, 90.0, 99.0)
+        )
+        max_ms = latencies_ms[-1]
+    else:
+        p50 = p90 = p99 = max_ms = 0.0
+
+    baseline = Simulator(instance, timeline).run(GreedyArrivalPolicy())
+    bound_value = BOUNDS[bound](instance)
+
+    return ReplayReport(
+        n_events=instance.n_events,
+        n_users=instance.n_users,
+        n_requests=len(futures),
+        n_batches=summary["batches_committed"],
+        overloaded=overloaded,
+        p50_ms=p50,
+        p90_ms=p90,
+        p99_ms=p99,
+        max_ms=max_ms,
+        achieved_max_sum=summary["max_sum"],
+        bound=float(bound_value),
+        bound_kind=bound,
+        baseline_max_sum=baseline.achieved_max_sum,
+        seconds=seconds,
+        journal_path=str(root),
+        replay_verified=replay_verified,
+        shards=shards,
+        per_shard=shard_rows,
     )

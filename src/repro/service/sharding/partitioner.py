@@ -1,0 +1,88 @@
+"""Incremental conflict-graph partitioning for the sharded service.
+
+The routing brain of :mod:`repro.service.sharding`: events are keyed by
+*global* id, conflict edges arrive one ``post_event`` at a time, and the
+partitioner maintains the connected components of the conflict graph
+incrementally (union-find over edges). Components are the unit of shard
+placement -- two events in different components can never constrain each
+other (Definition 3: no user may attend conflicting events, and
+feasibility composes over components), so a shard owning whole
+components solves exactly, not approximately.
+
+The one cross-shard hazard is a *component merge*: a new event whose
+conflict set spans components that live on different shards. The
+partitioner detects this (:meth:`ConflictPartitioner.merge_targets`
+before the edges are added) so the coordinator can run the rebalance
+protocol first and only then admit the event.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.conflicts import DisjointSet
+from repro.exceptions import ServiceError
+
+
+class ConflictPartitioner:
+    """Connected components of the global conflict graph, incrementally.
+
+    Events are global ids (dense, append-only). Component ids are the
+    smallest member id, so they are stable under edge insertion order
+    and survive crash/rebuild round-trips bit-for-bit.
+    """
+
+    def __init__(self) -> None:
+        self._components = DisjointSet()
+        self.merges = 0
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __contains__(self, event: int) -> bool:
+        return event in self._components
+
+    def add_event(self, event: int) -> None:
+        """Register a new event as its own singleton component."""
+        if event in self._components:
+            raise ServiceError(f"event {event} is already partitioned")
+        self._components.add(event)
+
+    def component_of(self, event: int) -> int:
+        """The component id (smallest member) owning ``event``."""
+        if event not in self._components:
+            raise ServiceError(f"event {event} is not partitioned")
+        return self._components.find(event)
+
+    def merge_targets(self, conflicts: Iterable[int]) -> list[int]:
+        """Distinct component ids a conflict set touches, ascending.
+
+        More than one entry means admitting an event with these
+        conflicts *merges* components -- the coordinator must co-locate
+        them (rebalance) before the event lands on any shard.
+        """
+        return sorted({self.component_of(event) for event in conflicts})
+
+    def add_edges(self, event: int, conflicts: Iterable[int]) -> int:
+        """Union ``event`` with its conflict partners.
+
+        Returns the number of distinct components merged away (0 when
+        every partner already shared ``event``'s component); the running
+        total is kept in :attr:`merges` for the topology view.
+        """
+        merged = 0
+        for other in conflicts:
+            if other not in self._components:
+                raise ServiceError(f"conflict partner {other} is not partitioned")
+            if self._components.union(event, other):
+                merged += 1
+        self.merges += merged
+        return merged
+
+    def component_sizes(self) -> dict[int, int]:
+        """Component id -> member count (the ``GET /state`` topology)."""
+        return self._components.component_sizes()
+
+    def components(self) -> dict[int, list[int]]:
+        """Component id -> sorted member ids."""
+        return self._components.members()

@@ -28,6 +28,13 @@ via the snapshot + tail ladder rung. A second pass compacts for real,
 kill -9s immediately after, and requires the same equality from the
 trimmed journal.
 
+Scenario C (:func:`run_sharded_smoke`) is scenario A against a shard
+fleet: ``geacc serve --shards 4``, events and users spread across every
+shard (plus a conflict edge to exercise same-shard placement), kill -9,
+restart, and the coordinator's manifest-walk recovery must reproduce
+the pre-crash global digest, the surviving assignments, and a live
+4-shard topology in ``GET /state``.
+
 Uses ``urllib`` (a client, not a server -- rule R8 bans server-side
 socket primitives outside this package, and the subprocess boundary is
 exactly what a kill -9 needs anyway).
@@ -300,10 +307,135 @@ def run_compaction_smoke(
     say("mid-compaction crash-recovery smoke passed")
 
 
+def run_sharded_smoke(
+    workdir: str | Path | None = None, verbose: bool = False
+) -> None:
+    """Kill -9 a 4-shard fleet; require full per-shard + manifest recovery."""
+
+    def say(message: str) -> None:
+        if verbose:
+            print(message, flush=True)
+
+    # Four well-separated corners (t defaults to 10000): best-similarity
+    # routing sends each user to the shard owning its corner's event.
+    corners = [
+        [1000.0, 1000.0],
+        [9000.0, 1000.0],
+        [1000.0, 9000.0],
+        [9000.0, 9000.0],
+    ]
+    with tempfile.TemporaryDirectory(dir=workdir) as tmp:
+        root = Path(tmp) / "fleet"
+        server = ServeProcess(root, extra_args=("--shards", "4"))
+        try:
+            say(f"serving 4 shards at {server.base} (root {root})")
+            events = [
+                _request(
+                    server.base,
+                    "POST",
+                    "/events",
+                    {"capacity": 2, "attributes": corner},
+                )["event"]
+                for corner in corners
+            ]
+            # A conflicting sibling must land on its component's shard.
+            rival = _request(
+                server.base,
+                "POST",
+                "/events",
+                {
+                    "capacity": 2,
+                    "attributes": [1050.0, 1050.0],
+                    "conflicts": [events[0]],
+                },
+            )["event"]
+            users = []
+            for corner in corners:
+                user = _request(
+                    server.base,
+                    "POST",
+                    "/users",
+                    {"capacity": 1, "attributes": [corner[0] + 5.0, corner[1] - 5.0]},
+                )["user"]
+                users.append(user)
+                assigned = _request(
+                    server.base, "POST", "/assignments", {"user": user}
+                )
+                if not assigned["events"]:
+                    raise ServiceError(f"user {user} got no seat: {assigned}")
+            pre_crash = _request(server.base, "GET", "/state")
+            say(f"pre-crash state: {pre_crash}")
+            topology = pre_crash.get("sharding")
+            if not topology or topology["shards"] != 4:
+                raise ServiceError(f"expected a 4-shard topology: {topology}")
+            # rival joined events[0]'s component: 5 events, 4 components.
+            if topology["components"] != 4:
+                raise ServiceError(
+                    f"expected 4 conflict components, got {topology}"
+                )
+            populated = sum(
+                1 for shard in topology["per_shard"] if shard["n_events"] > 0
+            )
+            if populated != 4:
+                raise ServiceError(
+                    f"expected events on all 4 shards, got {topology}"
+                )
+        finally:
+            server.kill9()
+        say("killed -9; recovering the fleet from its manifest + journals")
+
+        server = ServeProcess(root, extra_args=("--shards", "4"))
+        try:
+            post_crash = _request(server.base, "GET", "/state")
+            say(f"post-crash state: {post_crash}")
+            if post_crash["digest"] != pre_crash["digest"]:
+                raise ServiceError(
+                    "recovered fleet state does not match pre-crash state: "
+                    f"{post_crash['digest']} != {pre_crash['digest']}"
+                )
+            if post_crash.get("sharding", {}).get("shards") != 4:
+                raise ServiceError(
+                    f"topology did not survive the crash: {post_crash}"
+                )
+            survived = _request(
+                server.base, "GET", f"/assignments/{users[0]}"
+            )
+            if not survived["events"]:
+                raise ServiceError(
+                    f"user {users[0]}'s assignment did not survive: {survived}"
+                )
+            # The fleet still accepts work after recovery -- including on
+            # the component the conflict edge grew.
+            late = _request(
+                server.base,
+                "POST",
+                "/users",
+                {"capacity": 1, "attributes": [1040.0, 1060.0]},
+            )["user"]
+            late_assigned = _request(
+                server.base, "POST", "/assignments", {"user": late}
+            )
+            if not late_assigned["events"]:
+                raise ServiceError(
+                    f"post-recovery user {late} got no seat: {late_assigned}"
+                )
+            if rival not in late_assigned["events"] and events[0] not in (
+                late_assigned["events"]
+            ):
+                raise ServiceError(
+                    f"post-recovery user {late} was seated off its corner: "
+                    f"{late_assigned}"
+                )
+        finally:
+            server.terminate()
+    say("sharded crash-recovery smoke passed")
+
+
 def main() -> int:
     try:
         run_smoke(verbose=True)
         run_compaction_smoke(verbose=True)
+        run_sharded_smoke(verbose=True)
     except ServiceError as exc:
         print(f"SMOKE FAILED: {exc}", file=sys.stderr)
         return 1

@@ -46,6 +46,8 @@ CMD_REQUEST_ASSIGNMENT = "request_assignment"
 CMD_FREEZE_EVENT = "freeze_event"
 CMD_CANCEL_EVENT = "cancel_event"
 CMD_COMMIT_BATCH = "commit_batch"
+CMD_RETIRE_EVENT = "retire_event"
+CMD_RETIRE_USER = "retire_user"
 
 ALL_COMMANDS = frozenset(
     {
@@ -55,6 +57,8 @@ ALL_COMMANDS = frozenset(
         CMD_FREEZE_EVENT,
         CMD_CANCEL_EVENT,
         CMD_COMMIT_BATCH,
+        CMD_RETIRE_EVENT,
+        CMD_RETIRE_USER,
     }
 )
 
@@ -224,6 +228,34 @@ class ArrangementStore:
     def user_capacity(self, user: int) -> int:
         return self._users[user].capacity
 
+    def event_attributes(self, event: int) -> tuple[float, ...]:
+        return self._events[event].attributes
+
+    def user_attributes(self, user: int) -> tuple[float, ...]:
+        return self._users[user].attributes
+
+    def event_conflicts(self, event: int) -> frozenset[int]:
+        """Events conflicting with ``event`` (the live adjacency set)."""
+        return frozenset(self._events[event].conflicts)
+
+    def best_similarity(self, attributes: tuple[float, ...]) -> float:
+        """Best Eq. (1) similarity of a prospective user to any live event.
+
+        The shard router's affinity score: a new user lands on the shard
+        whose events it most resembles. Cancelled events are skipped so
+        tombstones left behind by a migration never attract traffic.
+        """
+        candidates = [e.attributes for e in self._events if not e.cancelled]
+        if not candidates:
+            return 0.0
+        sims = similarity_matrix(
+            np.asarray(candidates),
+            np.asarray([attributes]),
+            self.config.t,
+            self.config.metric,
+        )
+        return float(sims.max())
+
     def event_remaining(self, event: int) -> int:
         return self._event_remaining[event]
 
@@ -376,6 +408,18 @@ class ArrangementStore:
         elif cmd == CMD_COMMIT_BATCH:
             # Engine-internal; validated structurally during apply.
             pass
+        elif cmd == CMD_RETIRE_EVENT:
+            event = self._validate_event_ref(args)
+            if self._events[event].cancelled:
+                raise ServiceError(f"event {event} is already retired/cancelled")
+        elif cmd == CMD_RETIRE_USER:
+            user = args.get("user")
+            if not isinstance(user, int) or not 0 <= user < self.n_users:
+                raise ServiceError(f"unknown user {user!r}")
+            if self._events_of_user[user]:
+                raise ServiceError(
+                    f"user {user} still holds seats; release them before retiring"
+                )
         else:
             raise ServiceError(f"unknown command {cmd!r}")
 
@@ -433,6 +477,10 @@ class ArrangementStore:
             self._apply_cancel(record)
         elif cmd == CMD_COMMIT_BATCH:
             self._apply_commit_batch(record)
+        elif cmd == CMD_RETIRE_EVENT:
+            self._apply_retire_event(record)
+        elif cmd == CMD_RETIRE_USER:
+            self._apply_retire_user(record)
         else:
             raise JournalError(f"unknown journal command {cmd!r}")
         self.seq = seq
@@ -486,6 +534,40 @@ class ArrangementStore:
         delta = Delta.from_json(record)
         self.apply_delta(delta, _strict=JournalError)
         self.batches_committed += 1
+
+    def _apply_retire_event(self, record: dict) -> None:
+        """Tombstone an event after its state migrated to another shard.
+
+        Unlike :meth:`_apply_cancel` this also releases *frozen* seats:
+        the migrated copy owns them now, and keeping the tombstone's
+        counters consistent requires the source side to hold none. The
+        end state is indistinguishable from a cancelled event, so the
+        canonical-state format (and every pre-sharding digest) is
+        untouched.
+        """
+        event = self._checked_event(record)
+        live = self._events[event]
+        if live.cancelled:
+            raise JournalError(f"retire of already-retired event {event}")
+        for user in sorted(self._users_of_event[event]):
+            self._unassign(event, user)
+        live.frozen = False
+        live.cancelled = True
+
+    def _apply_retire_user(self, record: dict) -> None:
+        """Tombstone a migrated user: capacity drops to zero.
+
+        The user must hold no seats (its events were retired first in
+        the migration order); a seat here means the rebalance protocol
+        was violated, i.e. a corrupt journal.
+        """
+        user = record.get("user")
+        if not isinstance(user, int) or not 0 <= user < self.n_users:
+            raise JournalError(f"retire of unknown user {user!r}")
+        if self._events_of_user[user]:
+            raise JournalError(f"retire of user {user} who still holds seats")
+        self._users[user].capacity = 0
+        self._user_remaining[user] = 0
 
     # ------------------------------------------------------------------
     # O(1) delta application (the engine's edit path)
@@ -733,6 +815,31 @@ class ArrangementStore:
         """SHA-256 over the canonical state (stable across processes)."""
         payload = json.dumps(
             self.canonical_state(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def arrangement_state(self) -> dict:
+        """Canonical state minus the journal counters.
+
+        A sharded deployment splits one logical history across several
+        journals, so ``seq`` / ``requests_seen`` / ``batches_committed``
+        necessarily differ from the unsharded run even when the
+        *arrangement* is identical. This view keeps everything a user
+        can observe -- entities, lifecycle flags, conflicts, seats,
+        remaining capacities -- and drops only the bookkeeping counters;
+        :func:`repro.service.sharding.ShardCoordinator.arrangement_state`
+        produces the same dict from global ids, which is the equality
+        the sharding equivalence tests assert.
+        """
+        state = self.canonical_state()
+        for counter in ("seq", "requests_seen", "batches_committed"):
+            del state[counter]
+        return state
+
+    def arrangement_digest(self) -> str:
+        """SHA-256 over :meth:`arrangement_state`."""
+        payload = json.dumps(
+            self.arrangement_state(), sort_keys=True, separators=(",", ":")
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

@@ -1,0 +1,13 @@
+"""R16 fixture: cross-shard reach-ins and private submodule imports."""
+
+from repro.service.sharding.manager import ShardManager
+from repro.service.sharding.manifest import ShardManifest
+
+import repro.service.sharding.manager
+
+
+def drain(coordinator, managers, shards) -> None:
+    coordinator.managers[0].store.retire_event(3)
+    coordinator.shards[1].journal.append("freeze", {"event": 3})
+    managers[0].engine.run_pending_batch()
+    shards[2].service.freeze_event(7)

@@ -1,0 +1,19 @@
+"""R16 fixture: the package facade and coordinator surface are legal."""
+
+from repro.service.sharding import ShardCoordinator, ShardManager
+
+
+def replay(root) -> str:
+    with ShardCoordinator.recover(root, threaded=False) as coordinator:
+        coordinator.run_pending_batch()
+        path = ShardManager.journal_path(root, 0)
+        summary = coordinator.state_summary()
+        return f"{path}: {summary['sharding']['shards']} shards"
+
+
+def inspect(store, managers) -> object:
+    # A plain .store attribute (no fleet subscript) is someone else's
+    # store; only subscripted fleet access is a shard reach-in.
+    state = store.arrangement_state()
+    sizes = [len(m) for m in managers]
+    return state, sizes

@@ -1,0 +1,11 @@
+"""R16 fixture: inside a sharding/ directory the machinery owns itself."""
+
+from repro.service.sharding.manager import ShardManager
+from repro.service.sharding.manifest import ShardManifest
+
+
+def rebalance(coordinator) -> None:
+    source = coordinator.managers[0].store
+    coordinator.shards[1].journal.append("rebalance", {"moves": []})
+    assert isinstance(source, object)
+    assert ShardManager is not None and ShardManifest is not None

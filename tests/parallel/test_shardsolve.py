@@ -1,0 +1,73 @@
+"""solve_shard_batch == solve_with_ladder, with and without shared memory."""
+
+import pytest
+
+from repro.datagen.synthetic import SyntheticConfig, generate_instance
+from repro.parallel import shardsolve
+from repro.parallel.shardsolve import solve_shard_batch
+from repro.robustness.harness import solve_with_ladder
+
+CONFIG = SyntheticConfig(n_events=8, n_users=30, cv_high=4, cu_high=3)
+
+
+def make_instance(seed: int = 0):
+    return generate_instance(CONFIG, seed)
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_shared_memory_solve_is_bit_identical(seed: int) -> None:
+    instance = make_instance(seed)
+    serial = solve_with_ladder(instance, ("greedy",))
+    shared = solve_shard_batch(instance, ("greedy",))
+    assert shared.ok and serial.ok
+    assert shared.solver == serial.solver
+    assert shared.outcome == serial.outcome
+    # Bit-identical arrangements, not merely equal objectives: the shm
+    # round-trip must not perturb a single similarity float.
+    assert shared.arrangement.pairs() == serial.arrangement.pairs()
+    assert shared.arrangement.max_sum() == serial.arrangement.max_sum()
+
+
+def test_full_default_ladder_agrees(seed: int = 5) -> None:
+    instance = make_instance(seed)
+    serial = solve_with_ladder(instance)
+    shared = solve_shard_batch(instance, ("prune", "greedy", "random-u"))
+    assert shared.arrangement.pairs() == serial.arrangement.pairs()
+
+
+def test_fallback_path_when_archiving_is_unavailable(monkeypatch) -> None:
+    # No /dev/shm (or a too-small payload) makes from_instance return
+    # None; the batch solve must degrade to the plain in-process ladder.
+    monkeypatch.setattr(
+        shardsolve.SharedInstanceArchive,
+        "from_instance",
+        classmethod(lambda cls, instance, **kwargs: None),
+    )
+    instance = make_instance(seed=2)
+    serial = solve_with_ladder(instance, ("greedy",))
+    shared = solve_shard_batch(instance, ("greedy",))
+    assert shared.arrangement.pairs() == serial.arrangement.pairs()
+
+
+def test_no_segment_leaks_after_a_batch(tmp_path) -> None:
+    # The create/attach/close/unlink lifecycle must complete inside one
+    # call: destroying an already-destroyed archive is the only trace.
+    instance = make_instance(seed=4)
+    created: list[object] = []
+    original = shardsolve.SharedInstanceArchive.from_instance
+
+    def spy(instance, **kwargs):
+        archive = original(instance, **kwargs)
+        if archive is not None:
+            created.append(archive)
+        return archive
+
+    import unittest.mock
+
+    with unittest.mock.patch.object(
+        shardsolve.SharedInstanceArchive, "from_instance", spy
+    ):
+        solve_shard_batch(instance, ("greedy",))
+    for archive in created:
+        with pytest.raises(Exception):
+            archive.handle.attach()

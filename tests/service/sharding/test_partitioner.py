@@ -1,0 +1,73 @@
+"""ConflictPartitioner: incremental components, merge detection, stability."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.sharding import ConflictPartitioner
+
+
+def test_events_start_as_singleton_components() -> None:
+    part = ConflictPartitioner()
+    for event in range(4):
+        part.add_event(event)
+    assert len(part) == 4
+    assert all(part.component_of(e) == e for e in range(4))
+    assert part.component_sizes() == {0: 1, 1: 1, 2: 1, 3: 1}
+    assert part.merges == 0
+
+
+def test_component_id_is_the_smallest_member() -> None:
+    part = ConflictPartitioner()
+    for event in range(5):
+        part.add_event(event)
+    part.add_edges(3, [1])
+    part.add_edges(4, [3])
+    assert part.component_of(4) == 1
+    assert part.components()[1] == [1, 3, 4]
+    # Joining in the opposite order lands on the same id.
+    other = ConflictPartitioner()
+    for event in range(5):
+        other.add_event(event)
+    other.add_edges(4, [3])
+    other.add_edges(3, [1])
+    assert other.components() == part.components()
+
+
+def test_merge_targets_detects_cross_component_conflicts() -> None:
+    part = ConflictPartitioner()
+    for event in range(6):
+        part.add_event(event)
+    part.add_edges(1, [0])
+    part.add_edges(3, [2])
+    # A conflict set inside one component: single target, no merge needed.
+    assert part.merge_targets([0, 1]) == [0]
+    # Spanning two components: both ids, ascending.
+    assert part.merge_targets([1, 3]) == [0, 2]
+    assert part.merge_targets([]) == []
+
+
+def test_add_edges_counts_distinct_merges() -> None:
+    part = ConflictPartitioner()
+    for event in range(5):
+        part.add_event(event)
+    part.add_edges(1, [0])
+    assert part.merges == 1
+    # 4 joins both {0,1} and {2}: two components merged away.
+    assert part.add_edges(4, [1, 2]) == 2
+    assert part.merges == 3
+    # Re-adding an intra-component edge merges nothing.
+    assert part.add_edges(4, [0]) == 0
+    assert part.merges == 3
+
+
+def test_unknown_events_are_rejected() -> None:
+    part = ConflictPartitioner()
+    part.add_event(0)
+    with pytest.raises(ServiceError):
+        part.add_event(0)
+    with pytest.raises(ServiceError):
+        part.component_of(1)
+    with pytest.raises(ServiceError):
+        part.add_edges(0, [7])
+    assert 0 in part
+    assert 1 not in part
